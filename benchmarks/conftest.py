@@ -1,0 +1,8 @@
+"""Shared pytest-benchmark settings for the experiment harness.
+
+Heavy experiment benchmarks use ``benchmark.pedantic(..., rounds=1)``;
+the microbenchmarks (codec, arithmetic) let pytest-benchmark calibrate
+itself.  Every benchmark also asserts the experiment's key *shape*
+result, so ``pytest benchmarks/ --benchmark-only`` doubles as a
+regeneration check for each table and figure.
+"""

@@ -1,0 +1,30 @@
+"""Microbenchmarks: the fast-arithmetic building blocks of Section V-B."""
+
+import random
+
+from repro.arith.booth import BoothEncoding
+from repro.arith.fastdiv import ConstantDivider
+from repro.arith.fastmod import LemireModulo
+
+RNG = random.Random(17)
+
+
+def test_constant_division(benchmark):
+    divider = ConstantDivider(4065, 144)
+    x = RNG.randrange(1 << 144)
+    result = benchmark(divider.divide, x)
+    assert result == x // 4065
+
+
+def test_lemire_remainder(benchmark):
+    unit = LemireModulo(4065, 144)
+    x = RNG.randrange(1 << 144)
+    result = benchmark(unit.remainder, x)
+    assert result == x % 4065
+
+
+def test_booth_recoding(benchmark):
+    inverse = ConstantDivider(4065, 144).inverse
+    encoding = benchmark(BoothEncoding, inverse)
+    assert encoding.partial_products == 73
+    assert encoding.zero_partial_products == 23

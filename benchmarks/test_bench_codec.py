@@ -1,0 +1,53 @@
+"""Microbenchmarks: encode/decode throughput of the two code families.
+
+Not a paper table — these watch for performance regressions in the
+library's hot paths (the Monte Carlo and the perf simulator are built
+on them).
+"""
+
+import random
+
+from repro.core.codes import muse_80_69, muse_144_132
+from repro.rs.reed_solomon import rs_144_128
+
+RNG = random.Random(99)
+
+
+def test_muse_encode_throughput(benchmark):
+    code = muse_144_132()
+    data = RNG.randrange(1 << code.k)
+    codeword = benchmark(code.encode, data)
+    assert codeword % code.m == 0
+
+
+def test_muse_decode_clean(benchmark):
+    code = muse_144_132()
+    codeword = code.encode(RNG.randrange(1 << code.k))
+    result = benchmark(code.decode, codeword)
+    assert result.status.name == "CLEAN"
+
+
+def test_muse_decode_corrected(benchmark):
+    code = muse_80_69()
+    data = RNG.randrange(1 << code.k)
+    codeword = code.encode(data)
+    bad = code.layout.insert_symbol(
+        codeword, 4, code.layout.extract_symbol(codeword, 4) ^ 0xA
+    )
+    result = benchmark(code.decode, bad)
+    assert result.data == data
+
+
+def test_rs_encode_throughput(benchmark):
+    code = rs_144_128()
+    data = [RNG.randrange(256) for _ in range(16)]
+    codeword = benchmark(code.encode, data)
+    assert code.syndromes(codeword) == (0, 0)
+
+
+def test_rs_decode_corrected(benchmark):
+    code = rs_144_128()
+    codeword = list(code.encode([7] * 16))
+    codeword[5] ^= 0x3C
+    result = benchmark(code.decode, codeword)
+    assert result.status.name == "CORRECTED"

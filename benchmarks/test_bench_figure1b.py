@@ -1,0 +1,12 @@
+"""Bench: Figure 1(b) — error-value histograms, shuffled vs sequential."""
+
+from repro.experiments.figure1b import compute
+
+
+def test_figure1b_histograms(benchmark):
+    data = benchmark(compute)
+    # The paper's qualitative claims: more values, more bins, shuffled.
+    assert data.shuffled_total > data.sequential_total
+    assert len(data.shuffled) >= len(data.sequential)
+    # Sequential 4-bit symbols: 20 symbols x 15 positive values.
+    assert data.sequential_total == 300

@@ -1,0 +1,41 @@
+"""Bench: Figure 6 — ECC slowdown on SPEC-shaped workloads.
+
+Three representative workloads at a reduced trace length; the full
+22-benchmark run is ``repro-muse figure6``.
+"""
+
+from repro.perf.simulator import run_figure6
+from repro.perf.workloads import profile_by_name
+
+SUBSET = (
+    profile_by_name("519.lbm_r"),       # memory-bound
+    profile_by_name("505.mcf_r"),       # pointer-chasing
+    profile_by_name("541.leela_r"),     # cache-resident
+)
+
+
+def test_figure6_subset(benchmark):
+    rows = benchmark.pedantic(
+        run_figure6,
+        args=(SUBSET,),
+        kwargs={"mem_ops": 25_000},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rows) == 3
+    for row in rows:
+        # Figure 6's envelope: everything within a few percent of 1.0.
+        for value in row.slowdowns.values():
+            assert 0.99 < value < 1.05
+        # Always-correction costs at least as much as error-free.
+        assert (
+            row.slowdowns["MUSE Always Correction"]
+            >= row.slowdowns["MUSE"] - 1e-9
+        )
+    lbm = next(r for r in rows if r.workload == "519.lbm_r")
+    leela = next(r for r in rows if r.workload == "541.leela_r")
+    # Memory-bound pays more than cache-resident (the paper's gradient).
+    assert (
+        lbm.slowdowns["MUSE Always Correction"]
+        > leela.slowdowns["MUSE Always Correction"]
+    )

@@ -1,0 +1,33 @@
+"""Bench: Figure 7 + Table VI — memory tagging configurations."""
+
+from repro.perf.simulator import run_figure7, summarize_table6
+from repro.perf.workloads import profile_by_name
+
+SUBSET = (
+    profile_by_name("519.lbm_r"),
+    profile_by_name("505.mcf_r"),
+    profile_by_name("541.leela_r"),
+)
+
+
+def test_figure7_and_table6(benchmark):
+    rows = benchmark.pedantic(
+        run_figure7,
+        args=(SUBSET,),
+        kwargs={"mem_ops": 25_000},
+        rounds=1,
+        iterations=1,
+    )
+    for row in rows:
+        ops = row.normalized("dram_operations")
+        power = row.normalized("dram_power_mw")
+        # Figure 7(c): disjoint tags inflate DRAM traffic, up to 2x.
+        assert 1.0 <= ops["Base MT"] <= 2.01
+        assert ops["32-entry Cache MT"] <= ops["Base MT"] + 1e-9
+        # Figure 7(b): power ordering MUSE <= cached <= base.
+        assert power["Base MT"] >= power["32-entry Cache MT"] - 5e-3
+    summary = summarize_table6(rows)
+    muse, cached, base = summary
+    # Table VI ordering and ballpark.
+    assert muse.total_mw < cached.total_mw < base.total_mw
+    assert 6300 < muse.dram_mw < 6900

@@ -1,0 +1,15 @@
+"""Bench: Section VI-A — Rowhammer escape-rate measurement."""
+
+from repro.security.rowhammer import measure_escape_rate
+
+
+def test_rowhammer_escape_rate(benchmark):
+    point = benchmark.pedantic(
+        measure_escape_rate,
+        args=(8,),
+        kwargs={"attempts": 40_000},
+        rounds=1,
+        iterations=1,
+    )
+    # 2^-8 = 0.39%; allow binomial noise.
+    assert 0.3 * point.expected_rate < point.escape_rate < 3.0 * point.expected_rate

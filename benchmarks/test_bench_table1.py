@@ -1,0 +1,34 @@
+"""Bench: Table I — the four Algorithm-1 searches (paper Appendix F)."""
+
+from repro.core.error_model import (
+    ErrorDirection,
+    SymbolErrorModel,
+    hybrid_c4a_u1b,
+)
+from repro.core.search import find_multipliers
+from repro.core.symbols import SymbolLayout
+
+
+def test_search_muse_144_132(benchmark):
+    model = SymbolErrorModel(SymbolLayout.sequential(144, 4))
+    result = benchmark(find_multipliers, model, 12)
+    assert result.largest == 4065
+    assert len(result.multipliers) == 25
+
+
+def test_search_muse_80_69(benchmark):
+    model = SymbolErrorModel(SymbolLayout.sequential(80, 4))
+    result = benchmark(find_multipliers, model, 11)
+    assert result.multipliers == (1491, 1721, 1763, 1833, 1875, 1899, 1955, 2005)
+
+
+def test_search_muse_80_67_shuffled(benchmark):
+    model = SymbolErrorModel(SymbolLayout.eq5(), ErrorDirection.ONE_TO_ZERO)
+    result = benchmark(find_multipliers, model, 13)
+    assert result.multipliers == (5621,)
+
+
+def test_search_muse_80_70_hybrid(benchmark):
+    model = hybrid_c4a_u1b(SymbolLayout.eq6())
+    result = benchmark(find_multipliers, model, 10)
+    assert result.multipliers == (821,)

@@ -1,0 +1,11 @@
+"""Bench: Table III — regenerating inverses and minimal shifts."""
+
+from repro.arith.fastdiv import PAPER_TABLE_III, table_iii
+
+
+def test_table3_regeneration(benchmark):
+    rows = benchmark(table_iii)
+    for row in rows:
+        inverse, shift = PAPER_TABLE_III[row.m]
+        assert row.inverse == inverse
+        assert row.shift == shift

@@ -1,0 +1,49 @@
+"""Bench: Table IV — the MSED Monte Carlo, MUSE vs Reed-Solomon.
+
+``build_table_iv`` at reduced trial counts; shape assertions mirror the
+paper's claims (full 10k-trial runs: ``repro-muse table4``).
+"""
+
+from repro.core.codes import muse_144_132
+from repro.reliability.monte_carlo import (
+    MuseMsedSimulator,
+    RsMsedSimulator,
+    build_table_iv,
+)
+from repro.rs.reed_solomon import rs_144_128
+
+TRIALS = 1500
+
+
+def test_muse_144_132_msed_point(benchmark):
+    simulator = MuseMsedSimulator(muse_144_132())
+    result = benchmark.pedantic(
+        simulator.run, args=(TRIALS,), rounds=1, iterations=1
+    )
+    # Paper: 86.71% for this design point.
+    assert 82.0 < result.msed_percent < 92.0
+
+
+def test_rs_144_128_msed_point(benchmark):
+    simulator = RsMsedSimulator(rs_144_128())
+    result = benchmark.pedantic(
+        simulator.run, args=(TRIALS,), rounds=1, iterations=1
+    )
+    # Paper: 99.36% for this design point.
+    assert result.msed_percent > 97.0
+
+
+def test_full_table_iv(benchmark):
+    table = benchmark.pedantic(
+        build_table_iv, kwargs={"trials": 800, "seed": 3}, rounds=1, iterations=1
+    )
+    muse = table.row("MUSE")
+    rs = table.row("RS")
+    # MUSE fills every extra-bit column; RS only the even ones.
+    assert set(muse) == {0, 1, 2, 3, 4, 5}
+    assert set(rs) == {0, 2, 4, 6}
+    # RS loses ChipKill off the zero-extra-bits point; MUSE never does.
+    assert all(point.chipkill for point in muse.values())
+    assert not rs[4].chipkill
+    # The RS 5-bit-symbol design point collapses (paper: 53.96%).
+    assert rs[6].result.msed_percent < 80.0

@@ -1,0 +1,32 @@
+"""Bench: Table V — the analytic VLSI cost model over all six designs."""
+
+from repro.core.codes import muse_80_67, muse_80_69, muse_80_70, muse_144_132
+from repro.rs.reed_solomon import rs_80_64, rs_144_128
+from repro.vlsi.cost_model import muse_code_cost
+from repro.vlsi.rs_cost import rs_corrector_cost, rs_encoder_cost
+
+
+def full_table():
+    muse = [
+        muse_code_cost(builder())
+        for builder in (muse_144_132, muse_80_69, muse_80_67, muse_80_70)
+    ]
+    rs = [
+        (rs_encoder_cost(code), rs_corrector_cost(code))
+        for code in (rs_144_128(), rs_80_64())
+    ]
+    return muse, rs
+
+
+def test_table5_cost_model(benchmark):
+    muse, rs = benchmark(full_table)
+    # gem5 latency columns (the quantities Figure 6 consumes).
+    for cost in muse:
+        assert cost.gem5_encode_cycles == 3
+        assert cost.gem5_decode_cycles == 0
+        assert cost.correction_cycles == 3
+    for encoder, corrector in rs:
+        assert encoder.cycles == 1
+        assert corrector.cycles == 1
+    # MUSE pays roughly an order of magnitude more area than RS.
+    assert muse[1].encoder.area_um2 > 5 * rs[1][0].area_um2

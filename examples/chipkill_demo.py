@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""ChipKill on a DDR4 DIMM pair: permanent device failure, live traffic.
+
+Builds the full memory-controller stack from the paper's Figure 2 —
+MUSE(144,132) codec, 36 x4 devices across two lockstepped DDR4 ECC
+DIMMs — writes a working set, permanently fails a chip, and shows every
+read still returning correct data.  Then a second chip fails and the
+controller reports (rather than silently miscorrects) the uncorrectable
+words, and a field repair + scrub restores full protection.
+
+Run:  python examples/chipkill_demo.py
+"""
+
+import random
+
+from repro.core.codes import muse_144_132
+from repro.memory import (
+    DeviceStriping,
+    MemoryController,
+    MuseEcc,
+    ReadStatus,
+    ddr4_144bit,
+)
+
+
+def main() -> None:
+    code = muse_144_132()
+    striping = DeviceStriping(code.layout, ddr4_144bit())
+    controller = MemoryController(MuseEcc(code), striping)
+    print(f"channel: {striping.geometry.describe()}")
+    print(f"ECC    : {code.description}\n")
+
+    rng = random.Random(42)
+    working_set = {addr: rng.randrange(1 << code.k) for addr in range(64)}
+    for address, value in working_set.items():
+        controller.write(address, value)
+    print(f"wrote {len(working_set)} words")
+
+    # --- one chip dies --------------------------------------------------
+    controller.fail_device(17)
+    corrected = 0
+    for address, expected in working_set.items():
+        result = controller.read(address)
+        assert result.data == expected, "data loss under single chip failure!"
+        corrected += result.status is ReadStatus.CORRECTED
+    print(f"device 17 failed: all {len(working_set)} reads correct "
+          f"({corrected} needed correction)")
+
+    # --- a second chip dies: beyond the SSC guarantee -------------------
+    controller.fail_device(31)
+    flagged = sum(
+        controller.read(address).status is ReadStatus.UNCORRECTABLE
+        for address in working_set
+    )
+    print(f"device 31 also failed: {flagged}/{len(working_set)} reads "
+          f"flagged uncorrectable (none returned silently wrong)")
+
+    # --- field service: replace chips, scrub, back to full protection ---
+    controller.repair_device(17)
+    controller.repair_device(31)
+    for address in working_set:
+        controller.scrub(address)
+    controller.fail_device(5)
+    ok = all(
+        controller.read(address).data == expected
+        for address, expected in working_set.items()
+    )
+    print(f"after repair + scrub, a fresh device-5 failure is again "
+          f"fully correctable: {ok}")
+    print(f"\ncontroller stats: {controller.stats}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Memory tagging in MUSE spare bits: MTE semantics for free.
+
+The paper's Section VII-D co-design: MUSE(80,69) carries a 64-bit word
+plus 5 spare bits, enough for an ARM-MTE-style 4-bit allocation tag —
+no extra DRAM traffic, and the tag is ECC-protected together with the
+data.  This demo shows:
+
+1. heap coloring and a tag-checked store/load;
+2. a use-after-free caught by retagging on free;
+3. a DRAM chip failure that corrupts data *and* tag — both recovered
+   by one MUSE correction, with no spurious tag fault.
+
+Run:  python examples/memory_tagging.py
+"""
+
+from repro.security.mte import MuseTaggedMemory, TagMismatchError, pointer_tag
+
+
+def main() -> None:
+    memory = MuseTaggedMemory()
+    print(f"backing code: {memory.code.description}\n")
+
+    # 1. allocate + tagged access
+    buffer_ptr = memory.allocate(0x1000, words=8)
+    print(f"allocated 64B at 0x1000, pointer tag = {pointer_tag(buffer_ptr):#x}")
+    memory.store(buffer_ptr, 0x1122_3344_5566_7788)
+    print(f"load through matching pointer: {memory.load(buffer_ptr):#x}")
+
+    # 2. use-after-free
+    memory.free(buffer_ptr, words=8)
+    try:
+        memory.load(buffer_ptr)
+        raise SystemExit("BUG: stale pointer was honored")
+    except TagMismatchError as error:
+        print(f"use-after-free caught: {error}")
+
+    # 3. chip failure under tagged data
+    data_ptr = memory.allocate(0x2000, words=1)
+    memory.store(data_ptr, 0xFEED_FACE_0BAD_F00D)
+    stored = memory._store[0x2000]
+    symbol = memory.code.layout.extract_symbol(stored, 3)
+    memory.corrupt_device(0x2000, device=3, value=symbol ^ 0xF)
+    value = memory.load(data_ptr)  # ECC corrects data AND tag
+    assert value == 0xFEED_FACE_0BAD_F00D
+    print(f"after chip failure, tag-checked load still returns {value:#x}")
+    print("\n(the disjoint-metadata alternative would have spent an extra "
+          "DRAM read per LLC miss for the same tags — see "
+          "`repro-muse figure7`)")
+
+
+if __name__ == "__main__":
+    main()

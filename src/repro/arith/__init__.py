@@ -1,0 +1,47 @@
+"""Fast constant arithmetic — the paper's Section V-B building blocks.
+
+* :class:`ConstantDivider` — Granlund-Montgomery division by a known
+  constant (multiply by ``ceil(2^shift/m)``, then shift).  Regenerates
+  the paper's Table III.
+* :class:`LemireModulo` — direct remainder from the division's discarded
+  fractional bits (Figure 5b): two constant multiplies, no subtraction.
+* :func:`booth_digits` / :class:`BoothEncoding` — radix-4 Booth recoding
+  and the partial-product statistics the paper quotes (73 rows, 23 zero).
+* :class:`WallaceTree` — 3:2-compressor reduction structure for the
+  latency/area model.
+"""
+
+from repro.arith.booth import BoothEncoding, booth_digits
+from repro.arith.fastdiv import (
+    PAPER_TABLE_III,
+    ConstantDivider,
+    TableIIIEntry,
+    inverse_for_shift,
+    is_exact_shift,
+    minimal_shift,
+    table_iii,
+)
+from repro.arith.fastmod import LemireModulo
+from repro.arith.wallace import (
+    WallaceTree,
+    compressor_count,
+    next_layer_rows,
+    reduction_depth,
+)
+
+__all__ = [
+    "BoothEncoding",
+    "ConstantDivider",
+    "LemireModulo",
+    "PAPER_TABLE_III",
+    "TableIIIEntry",
+    "WallaceTree",
+    "booth_digits",
+    "compressor_count",
+    "inverse_for_shift",
+    "is_exact_shift",
+    "minimal_shift",
+    "next_layer_rows",
+    "reduction_depth",
+    "table_iii",
+]

@@ -1,0 +1,79 @@
+"""Radix-4 Booth recoding of constant multipliers (paper Section V-B).
+
+A radix-4 Booth encoder rewrites a K-bit constant as ``ceil((K+1)/2)``
+signed digits in {-2, -1, 0, +1, +2}, halving the number of partial
+products a multiplier tree must sum.  Because MUSE multiplies by *fixed*
+constants, digits equal to zero generate no partial product at all and
+their rows can be deleted from the tree at design time — the paper's
+example: the inverse for MUSE(144,132) recodes into 73 digits of which
+23 are zero, removing one full level of the Wallace tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+#: Map from a (b_{2i+1}, b_{2i}, b_{2i-1}) bit triplet to a Booth digit.
+_TRIPLET_TO_DIGIT = {
+    (0, 0, 0): 0,
+    (0, 0, 1): 1,
+    (0, 1, 0): 1,
+    (0, 1, 1): 2,
+    (1, 0, 0): -2,
+    (1, 0, 1): -1,
+    (1, 1, 0): -1,
+    (1, 1, 1): 0,
+}
+
+
+def booth_digits(constant: int) -> tuple[int, ...]:
+    """Radix-4 Booth recoding, least-significant digit first.
+
+    The recoding satisfies ``sum(d_i * 4^i) == constant`` (verified by
+    property test), with an extra digit to absorb a leading carry.
+    """
+    if constant < 0:
+        raise ValueError("constant must be non-negative")
+    bits = constant.bit_length()
+    digit_count = (bits + 2) // 2  # ceil((bits + 1) / 2)
+    digits = []
+    for i in range(digit_count):
+        low = (constant >> (2 * i - 1)) & 1 if i > 0 else 0
+        mid = (constant >> (2 * i)) & 1
+        high = (constant >> (2 * i + 1)) & 1
+        digits.append(_TRIPLET_TO_DIGIT[(high, mid, low)])
+    return tuple(digits)
+
+
+@dataclass(frozen=True)
+class BoothEncoding:
+    """Structural summary of one constant's Booth recoding.
+
+    ``partial_products`` counts the recoded digits (rows fed to the
+    multiplier tree before optimization); ``nonzero_partial_products``
+    counts the rows that survive the constant-specialization that the
+    paper applies ("removing those always equal to zero").
+    """
+
+    constant: int
+
+    @cached_property
+    def digits(self) -> tuple[int, ...]:
+        return booth_digits(self.constant)
+
+    @property
+    def partial_products(self) -> int:
+        return len(self.digits)
+
+    @property
+    def zero_partial_products(self) -> int:
+        return sum(1 for digit in self.digits if digit == 0)
+
+    @property
+    def nonzero_partial_products(self) -> int:
+        return self.partial_products - self.zero_partial_products
+
+    def reconstruct(self) -> int:
+        """Inverse transform, for verification: digits back to the value."""
+        return sum(digit << (2 * i) for i, digit in enumerate(self.digits))

@@ -1,0 +1,132 @@
+"""Division by a constant via multiplication (Granlund-Montgomery 1994).
+
+The paper's Section V-B: MUSE decoders never divide by a general number —
+the multiplier ``m`` is fixed at design time, so division becomes one
+multiplication by a precomputed *inverse* followed by a shift:
+
+    floor(x / m)  ==  (x * inverse) >> shift
+    inverse       ==  ceil(2^shift / m)
+
+for every ``x`` below the design width, provided ``shift`` satisfies the
+Granlund-Montgomery exactness condition.  :func:`minimal_shift` computes
+the smallest such shift; our values reproduce the paper's Table III
+exactly (m=4065 -> shift 156, m=2005 -> 87, m=5621 -> 93, m=821 -> 89).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+
+def inverse_for_shift(divisor: int, shift: int) -> int:
+    """The round-up inverse ``ceil(2^shift / divisor)``."""
+    if divisor <= 1:
+        raise ValueError(f"divisor must be >= 2, got {divisor}")
+    return -(-(1 << shift) // divisor)
+
+
+def is_exact_shift(divisor: int, width: int, shift: int) -> bool:
+    """Exactness test: does ``(x * inv) >> shift == x // divisor`` hold
+    for *all* ``x < 2^width``?
+
+    With ``inv = ceil(2^shift / d) = (2^shift + e) / d`` the product is
+    ``x/d + e*x/(d*2^shift)``; flooring is unperturbed exactly when
+    ``e * x < 2^shift * (d - (x mod d))`` for every ``x``.  Only the
+    largest ``x`` of each residue class can violate the bound, so the
+    check is O(divisor) instead of O(2^width).
+    """
+    inv = inverse_for_shift(divisor, shift)
+    e = inv * divisor - (1 << shift)
+    top = (1 << width) - 1
+    bound = 1 << shift
+    for residue in range(divisor):
+        x = top - ((top - residue) % divisor)
+        if x >= 0 and e * x >= bound * (divisor - residue):
+            return False
+    return True
+
+
+def minimal_shift(divisor: int, width: int) -> int:
+    """Smallest shift making the multiply-by-inverse division exact.
+
+    Reproduces the paper's Table III shift amounts for all four codes.
+    """
+    shift = width
+    while not is_exact_shift(divisor, width, shift):
+        shift += 1
+    return shift
+
+
+@dataclass(frozen=True)
+class ConstantDivider:
+    """A hardware-style divide-by-``divisor`` unit for ``width``-bit inputs.
+
+    This is the functional model of the "FAST DIVISION BY CONSTANT m"
+    block in the paper's Figure 5(b): a single constant multiplication
+    and a wire-level shift.
+    """
+
+    divisor: int
+    width: int
+
+    @cached_property
+    def shift(self) -> int:
+        return minimal_shift(self.divisor, self.width)
+
+    @cached_property
+    def inverse(self) -> int:
+        return inverse_for_shift(self.divisor, self.shift)
+
+    @property
+    def inverse_bits(self) -> int:
+        """Bit width of the inverse constant (the Booth multiplier input)."""
+        return self.inverse.bit_length()
+
+    def divide(self, x: int) -> int:
+        """``floor(x / divisor)`` by multiplication; exact for the width."""
+        if not 0 <= x < (1 << self.width):
+            raise ValueError(f"input does not fit in {self.width} bits")
+        return (x * self.inverse) >> self.shift
+
+    def fractional_bits(self, x: int) -> int:
+        """The discarded low ``shift`` bits of ``x * inverse``.
+
+        Lemire's observation (Section V-B): these bits *are* the
+        remainder in disguise — ``repro.arith.fastmod`` turns them into
+        ``x mod divisor`` with one more constant multiplication.
+        """
+        if not 0 <= x < (1 << self.width):
+            raise ValueError(f"input does not fit in {self.width} bits")
+        return (x * self.inverse) & ((1 << self.shift) - 1)
+
+
+@dataclass(frozen=True)
+class TableIIIEntry:
+    """One row of the paper's Table III."""
+
+    m: int
+    inverse: int
+    shift: int
+
+
+def table_iii() -> tuple[TableIIIEntry, ...]:
+    """Regenerate Table III from first principles.
+
+    The codeword widths are those of the codes using each multiplier:
+    144 bits for m=4065, 80 bits for the rest.
+    """
+    rows = []
+    for m, width in ((4065, 144), (2005, 80), (5621, 80), (821, 80)):
+        divider = ConstantDivider(m, width)
+        rows.append(TableIIIEntry(m=m, inverse=divider.inverse, shift=divider.shift))
+    return tuple(rows)
+
+
+#: Table III verbatim from the paper, for cross-checking.
+PAPER_TABLE_III: dict[int, tuple[int, int]] = {
+    4065: (22470812382086453231913973442747278899998963, 156),
+    2005: (77178306688614730355307, 87),
+    5621: (1761878725188230243585305, 93),
+    821: (753922070210341214920295, 89),
+}

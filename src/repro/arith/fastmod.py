@@ -1,0 +1,71 @@
+"""Direct remainder computation (Lemire, Kaser, Kurz 2019).
+
+The naive ``x mod m = x - m * floor(x/m)`` costs two multiplications
+*in series with a subtraction*.  Lemire's trick (paper Section V-B,
+Figure 5b) is cheaper: the *fractional* bits discarded by the
+multiply-by-inverse division already encode the remainder —
+
+    frac = (x * inverse) mod 2^shift
+    x mod m = (frac * m) >> shift
+
+so the remainder circuit is exactly two back-to-back constant
+multipliers, the second of which is tiny (it multiplies by ``m`` itself,
+a 10-16 bit constant, rather than by the 80-160 bit inverse).  This is
+why the paper's decoder fits in ~1 ns: the second multiplier adds only a
+shallow tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.arith.fastdiv import ConstantDivider
+
+
+@dataclass(frozen=True)
+class LemireModulo:
+    """Functional model of Figure 5(b): ``x mod m`` via two multiplies."""
+
+    m: int
+    width: int
+
+    @cached_property
+    def divider(self) -> ConstantDivider:
+        return ConstantDivider(self.m, self.width)
+
+    @property
+    def shift(self) -> int:
+        return self.divider.shift
+
+    @property
+    def inverse(self) -> int:
+        return self.divider.inverse
+
+    def remainder(self, x: int) -> int:
+        """Compute ``x mod m`` without any division or subtraction."""
+        frac = self.divider.fractional_bits(x)
+        return (frac * self.m) >> self.shift
+
+    def remainder_naive(self, x: int) -> int:
+        """Eq. 7 reference path: two multiplies *and* a subtraction."""
+        return x - self.m * self.divider.divide(x)
+
+    # ------------------------------------------------------------------
+    # Hardware structure (inputs to the VLSI cost model)
+    # ------------------------------------------------------------------
+
+    @property
+    def first_multiplier_constant_bits(self) -> int:
+        """Width of the first (big) constant: the inverse."""
+        return self.divider.inverse_bits
+
+    @property
+    def second_multiplier_constant_bits(self) -> int:
+        """Width of the second (small) constant: ``m`` itself."""
+        return self.m.bit_length()
+
+    @property
+    def fractional_width(self) -> int:
+        """Width of the intermediate fractional value (shift bits)."""
+        return self.shift

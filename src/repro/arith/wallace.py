@@ -1,0 +1,76 @@
+"""Wallace-tree reduction structure (paper Section V-B, Figure 5a).
+
+A Wallace tree sums N partial products with layers of 3:2 carry-save
+compressors; each layer reduces the row count from ``n`` to
+``2*(n//3) + n%3`` and costs one full-adder delay.  The tree finishes
+when two rows remain, which a carry-propagate adder then sums.
+
+The structural quantities exposed here — reduction depth, compressor
+count — feed the analytic latency/area model in :mod:`repro.vlsi`.
+The paper's optimization ("eliminating the 23 always-zero partial
+products reduces the depth by one level, i.e. three XOR delays") is
+directly visible: ``reduction_depth(73) - reduction_depth(50) == 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def next_layer_rows(rows: int) -> int:
+    """Row count after one 3:2 compressor layer."""
+    if rows < 0:
+        raise ValueError("row count must be non-negative")
+    return 2 * (rows // 3) + rows % 3
+
+
+def reduction_depth(rows: int) -> int:
+    """Number of 3:2 layers needed to reach two rows.
+
+    0 or 1 partial products need no reduction and no final adder row
+    pair; 2 rows need zero layers.
+    """
+    if rows <= 2:
+        return 0
+    depth = 0
+    while rows > 2:
+        rows = next_layer_rows(rows)
+        depth += 1
+    return depth
+
+
+def compressor_count(rows: int, width: int) -> int:
+    """Approximate number of full adders in the whole tree.
+
+    Each 3:2 layer compresses ``rows // 3`` triplets across the product
+    width.  This is the area-model input; exact gate placement depends
+    on column heights, which a structural estimate does not need.
+    """
+    if rows <= 2:
+        return 0
+    total = 0
+    while rows > 2:
+        total += (rows // 3) * width
+        rows = next_layer_rows(rows)
+    return total
+
+
+@dataclass(frozen=True)
+class WallaceTree:
+    """Structure of one Wallace tree summing ``rows`` partial products."""
+
+    rows: int
+    width: int
+
+    @property
+    def depth(self) -> int:
+        return reduction_depth(self.rows)
+
+    @property
+    def full_adders(self) -> int:
+        return compressor_count(self.rows, self.width)
+
+    @property
+    def final_adder_width(self) -> int:
+        """Width of the carry-propagate adder after the tree."""
+        return self.width

@@ -1,0 +1,118 @@
+"""Command-line entry point: ``repro-muse <experiment> [options]``.
+
+Examples
+--------
+::
+
+    repro-muse table1                 # regenerate Table I searches
+    repro-muse table4 --trials 10000  # full Monte-Carlo Table IV
+    repro-muse figure6 --quick        # 3-benchmark, short-trace preview
+    repro-muse all --quick            # every experiment, fast settings
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    ablation_frontier,
+    ablation_shuffle,
+    extension_double_device,
+    figure1b,
+    figure6,
+    figure7,
+    pim,
+    rowhammer,
+    table1,
+    table3,
+    table4,
+    table5,
+)
+
+FAST_SETTINGS = {
+    "trials": 2000,
+    "mem_ops": 20_000,
+    "attempts": 40_000,
+    "benchmarks": 3,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-muse",
+        description=(
+            "Regenerate the tables and figures of 'Revisiting Residue "
+            "Codes for Modern Memories' (MICRO 2022)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "table1", "figure1b", "table3", "table4", "table5",
+            "figure6", "figure7", "rowhammer", "pim",
+            "ablation-shuffle", "ablation-frontier",
+            "extension-double-device", "all",
+        ],
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=10_000,
+        help="Monte-Carlo trials per design point (table4, ablations)",
+    )
+    parser.add_argument(
+        "--mem-ops", type=int, default=120_000,
+        help="memory operations per workload trace (figure6/figure7)",
+    )
+    parser.add_argument(
+        "--attempts", type=int, default=200_000,
+        help="attack attempts per hash width (rowhammer)",
+    )
+    parser.add_argument(
+        "--benchmarks", type=int, default=None,
+        help="limit figure6/figure7 to the first N workloads",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small trial counts and traces for a fast preview",
+    )
+    return parser
+
+
+def run(args: argparse.Namespace) -> int:
+    trials = FAST_SETTINGS["trials"] if args.quick else args.trials
+    mem_ops = FAST_SETTINGS["mem_ops"] if args.quick else args.mem_ops
+    attempts = FAST_SETTINGS["attempts"] if args.quick else args.attempts
+    benchmarks = FAST_SETTINGS["benchmarks"] if args.quick else args.benchmarks
+
+    dispatch = {
+        "table1": lambda: table1.main(),
+        "figure1b": lambda: figure1b.main(),
+        "table3": lambda: table3.main(),
+        "table4": lambda: table4.main(trials=trials),
+        "table5": lambda: table5.main(),
+        "figure6": lambda: figure6.main(mem_ops=mem_ops, benchmarks=benchmarks),
+        "figure7": lambda: figure7.main(mem_ops=mem_ops, benchmarks=benchmarks),
+        "rowhammer": lambda: rowhammer.main(attempts=attempts),
+        "pim": lambda: pim.main(),
+        "ablation-shuffle": lambda: ablation_shuffle.main(),
+        "ablation-frontier": lambda: ablation_frontier.main(trials=trials),
+        "extension-double-device": lambda: extension_double_device.main(),
+    }
+    if args.experiment == "all":
+        for name, runner in dispatch.items():
+            print(f"\n=== {name} " + "=" * max(0, 60 - len(name)))
+            runner()
+        return 0
+    dispatch[args.experiment]()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""The paper's P-S-T error-class naming convention (Section IV).
+
+A class name is ``P S T`` where
+
+* ``P`` — constraint form: ``C`` (symbol-Constrained: the S-bit error
+  starts on a symbol boundary) or ``U`` (Unconstrained: any position),
+* ``S`` — error size in bits,
+* ``T`` — type: ``B`` (Bidirectional flips) or ``A`` (Asymmetrical,
+  one-direction flips such as DRAM retention loss).
+
+Hybrid codes concatenate classes with ``_``: the paper's MUSE(80,70) is
+``C4A_U1B`` — constrained 4-bit asymmetric symbol errors *plus*
+unconstrained single-bit bidirectional errors.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_TERM_RE = re.compile(r"^([CU])(\d+)([AB])$")
+
+
+@dataclass(frozen=True)
+class ErrorClass:
+    """One P-S-T term."""
+
+    constrained: bool
+    size: int
+    bidirectional: bool
+
+    def __str__(self) -> str:
+        p = "C" if self.constrained else "U"
+        t = "B" if self.bidirectional else "A"
+        return f"{p}{self.size}{t}"
+
+    @property
+    def is_symbol_class(self) -> bool:
+        """True for multi-bit constrained classes (device-failure shaped)."""
+        return self.constrained and self.size > 1
+
+
+@dataclass(frozen=True)
+class ErrorClassName:
+    """A full (possibly hybrid) class name such as ``C4A_U1B``."""
+
+    terms: tuple[ErrorClass, ...]
+
+    def __str__(self) -> str:
+        return "_".join(str(term) for term in self.terms)
+
+    @property
+    def is_hybrid(self) -> bool:
+        return len(self.terms) > 1
+
+
+def parse(name: str) -> ErrorClassName:
+    """Parse a class name string, e.g. ``"C8A"`` or ``"C4A_U1B"``.
+
+    Raises ``ValueError`` for malformed names.
+    """
+    if not name:
+        raise ValueError("empty error-class name")
+    terms = []
+    for part in name.split("_"):
+        match = _TERM_RE.match(part)
+        if match is None:
+            raise ValueError(
+                f"malformed error-class term {part!r}; expected e.g. 'C4B'"
+            )
+        constrained = match.group(1) == "C"
+        size = int(match.group(2))
+        if size < 1:
+            raise ValueError(f"error size must be >= 1 in {part!r}")
+        terms.append(
+            ErrorClass(
+                constrained=constrained,
+                size=size,
+                bidirectional=match.group(3) == "B",
+            )
+        )
+    return ErrorClassName(tuple(terms))
+
+
+def format_terms(*terms: ErrorClass) -> str:
+    """Format terms back into the canonical string form."""
+    return str(ErrorClassName(tuple(terms)))

@@ -1,0 +1,221 @@
+"""Multiplier search — the paper's Algorithm 1.
+
+For a target redundancy of ``r`` bits, a multiplier ``m`` is valid when
+every distinct error value of the error model leaves a *unique, nonzero*
+remainder modulo ``m``.  The search enumerates all odd candidates with
+``ceil(log2 m) == r`` — i.e. odd ``m`` in ``(2^(r-1), 2^r)`` — and keeps
+those that satisfy the uniqueness property.
+
+Note on the pseudocode: the paper's Algorithm 1 writes the loop bounds
+as ``2^r + 1 .. 2^(r+1) - 1``, but every published result (m = 4065 for
+r = 12, m = 2005 for r = 11, ...) and the paper's own relation
+``r = ceil(log2 m)`` (Table II) correspond to the ``(2^(r-1), 2^r)``
+range used here.  With this reading, our implementation reproduces the
+paper's Appendix F multiplier lists exactly (see tests/core/test_search.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.core.error_model import ErrorModel
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of a multiplier search for one code configuration."""
+
+    n: int
+    r: int
+    required_remainders: int
+    multipliers: tuple[int, ...]
+    candidates_tested: int
+    model_description: str = ""
+
+    @property
+    def found(self) -> bool:
+        return bool(self.multipliers)
+
+    @property
+    def smallest(self) -> int:
+        """The paper's preferred pick: smallest valid multiplier.
+
+        "A good multiplier is the smallest integer number that satisfies
+        the unique remainder property" (Section I) — though Table I
+        lists the largest of each Appendix F list; both are exposed.
+        """
+        if not self.multipliers:
+            raise LookupError("no multipliers found")
+        return self.multipliers[0]
+
+    @property
+    def largest(self) -> int:
+        """Largest valid multiplier (best multi-symbol detection rate)."""
+        if not self.multipliers:
+            raise LookupError("no multipliers found")
+        return self.multipliers[-1]
+
+    @property
+    def k(self) -> int:
+        """Data bits of the resulting (n, k) code."""
+        return self.n - self.r
+
+    def describe(self) -> str:
+        status = (
+            f"{len(self.multipliers)} multiplier(s): {list(self.multipliers)}"
+            if self.found
+            else "no valid multiplier"
+        )
+        return (
+            f"MUSE({self.n},{self.k}) search, r={self.r}, "
+            f"R={self.required_remainders}: {status}"
+        )
+
+
+def candidate_multipliers(r: int) -> Iterator[int]:
+    """Odd candidates whose redundancy requirement is exactly ``r`` bits."""
+    if r < 2:
+        raise ValueError(f"redundancy must be >= 2 bits, got {r}")
+    return iter(range((1 << (r - 1)) + 1, 1 << r, 2))
+
+
+def is_valid_multiplier(m: int, error_values: Iterable[int]) -> bool:
+    """Check Algorithm 1's acceptance test for a single candidate.
+
+    Valid iff all error values map to distinct remainders and none maps
+    to zero (a zero remainder would be indistinguishable from "no
+    error").  Early-exits on the first collision.
+    """
+    seen: set[int] = set()
+    for value in error_values:
+        remainder = value % m
+        if remainder == 0 or remainder in seen:
+            return False
+        seen.add(remainder)
+    return True
+
+
+@dataclass
+class MultiplierSearch:
+    """Exhaustive Algorithm-1 search over one redundancy budget.
+
+    Parameters
+    ----------
+    model:
+        Error model providing the distinct error values to separate.
+    r:
+        Redundancy budget in bits; candidates are odd ``m`` with
+        ``ceil(log2 m) == r``.
+    progress:
+        Optional callback ``(candidates_done, total)`` for long runs.
+    """
+
+    model: ErrorModel
+    r: int
+    progress: Callable[[int, int], None] | None = None
+    _values: tuple[int, ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        # Sorting makes the candidate loop deterministic and lets the
+        # early-exit trigger at a stable point; correctness does not
+        # depend on the order.
+        self._values = tuple(sorted(self.model.error_values()))
+        if not self._values:
+            raise ValueError("error model enumerates no error values")
+
+    @property
+    def required_remainders(self) -> int:
+        return len(self._values)
+
+    def run(self, stop_after: int | None = None) -> SearchResult:
+        """Search all candidates; optionally stop after N found.
+
+        ``stop_after=1`` turns the exhaustive search into a
+        first-hit search (useful when only feasibility matters).
+        """
+        lower = (1 << (self.r - 1)) + 1
+        upper = 1 << self.r
+        total = (upper - lower + 1) // 2
+        found: list[int] = []
+        tested = 0
+        for m in range(lower, upper, 2):
+            tested += 1
+            if is_valid_multiplier(m, self._values):
+                found.append(m)
+                if stop_after is not None and len(found) >= stop_after:
+                    break
+            if self.progress is not None and tested % 256 == 0:
+                self.progress(tested, total)
+        return SearchResult(
+            n=self.model.n,
+            r=self.r,
+            required_remainders=self.required_remainders,
+            multipliers=tuple(found),
+            candidates_tested=tested,
+            model_description=self.model.describe(),
+        )
+
+    def run_descending(self, stop_after: int = 1) -> SearchResult:
+        """Search from the top of the range downward.
+
+        The largest valid multiplier maximizes the number of *unused*
+        remainders and therefore the multi-symbol error detection rate
+        (Section VII-A: MUSE(144,128) picks 65519).  Searching downward
+        finds it without visiting the whole range.
+        """
+        lower = (1 << (self.r - 1)) + 1
+        upper = (1 << self.r) - 1
+        found: list[int] = []
+        tested = 0
+        for m in range(upper, lower - 1, -2):
+            tested += 1
+            if is_valid_multiplier(m, self._values):
+                found.append(m)
+                if len(found) >= stop_after:
+                    break
+        return SearchResult(
+            n=self.model.n,
+            r=self.r,
+            required_remainders=self.required_remainders,
+            multipliers=tuple(sorted(found)),
+            candidates_tested=tested,
+            model_description=self.model.describe(),
+        )
+
+
+def find_multipliers(
+    model: ErrorModel,
+    r: int,
+    stop_after: int | None = None,
+) -> SearchResult:
+    """One-call façade over :class:`MultiplierSearch`."""
+    return MultiplierSearch(model, r).run(stop_after=stop_after)
+
+
+def largest_multiplier(model: ErrorModel, r: int) -> int | None:
+    """Largest valid multiplier for the budget, or None."""
+    result = MultiplierSearch(model, r).run_descending(stop_after=1)
+    return result.multipliers[-1] if result.found else None
+
+
+def smallest_feasible_redundancy(
+    model: ErrorModel,
+    r_min: int = 2,
+    r_max: int = 24,
+) -> SearchResult | None:
+    """Scan redundancy budgets upward and return the first feasible search.
+
+    This answers the paper's design question "how few check bits can
+    this error model be covered with?" — the difference between that
+    minimum and a baseline's redundancy is the code's *saved bits*.
+    """
+    for r in range(r_min, r_max + 1):
+        # A multiplier must exceed the number of required remainders:
+        # m > R, otherwise pigeonhole forbids uniqueness.
+        if (1 << r) <= len(model.error_values()):
+            continue
+        result = MultiplierSearch(model, r).run(stop_after=1)
+        if result.found:
+            return result
+    return None

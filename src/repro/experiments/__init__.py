@@ -1,0 +1,52 @@
+"""Experiment runners — one module per paper table/figure.
+
+==================  ====================================================
+module              reproduces
+==================  ====================================================
+``table1``          Table I (code parameters via Algorithm-1 search)
+``figure1b``        Figure 1(b) (error-value histogram, shuffle effect)
+``table3``          Table III (inverses + shifts)
+``table4``          Table IV (MSED Monte Carlo, MUSE vs RS)
+``table5``          Table V (VLSI costs + gem5 cycles)
+``figure6``         Figure 6 (ECC slowdown on SPEC-shaped workloads)
+``figure7``         Figure 7 + Table VI (memory tagging)
+``rowhammer``       Section VI-A (hash escape-rate law)
+``pim``             Section VI-B (PIM budget + fault coverage)
+``ablation_shuffle``   Appendix G extended (shuffle yield sweep)
+``ablation_frontier``  flexibility frontier + k-sweep (beyond paper)
+``extension_double_device``  Section IV's two-consecutive-failure claim
+==================  ====================================================
+
+Every module exposes ``main(**options) -> str`` returning the rendered
+report; the CLI (``repro-muse``) dispatches to them.
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablation_frontier,
+    ablation_shuffle,
+    extension_double_device,
+    figure1b,
+    figure6,
+    figure7,
+    pim,
+    rowhammer,
+    table1,
+    table3,
+    table4,
+    table5,
+)
+
+ALL_EXPERIMENTS = {
+    "table1": table1.main,
+    "figure1b": figure1b.main,
+    "table3": table3.main,
+    "table4": table4.main,
+    "table5": table5.main,
+    "figure6": figure6.main,
+    "figure7": figure7.main,
+    "rowhammer": rowhammer.main,
+    "pim": pim.main,
+    "ablation-shuffle": ablation_shuffle.main,
+    "ablation-frontier": ablation_frontier.main,
+    "extension-double-device": extension_double_device.main,
+}

@@ -1,0 +1,81 @@
+"""Ablation: multiplier-search yield with and without shuffling.
+
+Extends the paper's Appendix G observation (the MUSE(80,67) search
+finds nothing without the Eq.5 shuffle) into a sweep: for each error
+model, how many valid multipliers exist under the sequential vs the
+interleaved bit assignment, per redundancy budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.error_model import ErrorDirection, SymbolErrorModel
+from repro.core.search import find_multipliers
+from repro.core.symbols import SymbolLayout
+
+
+@dataclass(frozen=True)
+class ShuffleAblationRow:
+    label: str
+    r: int
+    sequential_found: int
+    shuffled_found: int
+
+
+def sweep() -> list[ShuffleAblationRow]:
+    rows = []
+    # C8A over 80 bits: the paper's Appendix G case, r = 12..14.
+    sequential8 = SymbolErrorModel(
+        SymbolLayout.sequential(80, 8), ErrorDirection.ONE_TO_ZERO
+    )
+    shuffled8 = SymbolErrorModel(SymbolLayout.eq5(), ErrorDirection.ONE_TO_ZERO)
+    for r in (12, 13, 14):
+        rows.append(
+            ShuffleAblationRow(
+                label="C8A/80b",
+                r=r,
+                sequential_found=len(find_multipliers(sequential8, r).multipliers),
+                shuffled_found=len(find_multipliers(shuffled8, r).multipliers),
+            )
+        )
+    # C4B over 80 bits: both layouts work; shuffling changes the count.
+    sequential4 = SymbolErrorModel(SymbolLayout.sequential(80, 4))
+    shuffled4 = SymbolErrorModel(SymbolLayout.eq6())
+    for r in (11, 12):
+        rows.append(
+            ShuffleAblationRow(
+                label="C4B/80b",
+                r=r,
+                sequential_found=len(find_multipliers(sequential4, r).multipliers),
+                shuffled_found=len(find_multipliers(shuffled4, r).multipliers),
+            )
+        )
+    return rows
+
+
+def render(rows: list[ShuffleAblationRow]) -> str:
+    lines = [
+        "Shuffle ablation: valid multipliers found (sequential vs shuffled)",
+        f"{'model':<10} {'r':>3} {'sequential':>11} {'shuffled':>9}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.label:<10} {row.r:>3} {row.sequential_found:>11} "
+            f"{row.shuffled_found:>9}"
+        )
+    lines.append(
+        "\npaper Appendix G: the C8A/80b search without shuffling finds no "
+        "multipliers of 16 bits or less; shuffling unlocks m=5621 at r=13."
+    )
+    return "\n".join(lines)
+
+
+def main() -> str:
+    report = render(sweep())
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

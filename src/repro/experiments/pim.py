@@ -1,0 +1,59 @@
+"""Experiment: Section VI-B — reliable processing-in-memory.
+
+Three parts:
+
+1. the redundancy budget: MUSE(268,256) needs 12 bits where HBM
+   provisions 32 (the 2.6x claim), leaving 20 bits per word;
+2. storage protection: a chip failure inside the PIM bank is corrected
+   by the same code;
+3. compute protection: single-bit MAC datapath faults are caught by the
+   residue congruence with 100% coverage.
+"""
+
+from __future__ import annotations
+
+from repro.core.codes import muse_268_256
+from repro.pim.hbm import PimRedundancyBudget, ReliablePimDevice
+from repro.pim.mac import fault_coverage
+
+
+def render(coverage_trials: int = 2000) -> str:
+    budget = PimRedundancyBudget()
+    code = muse_268_256()
+    lines = [
+        "PIM reliability with MUSE(268,256)",
+        f"  code: {code.description}",
+        f"  HBM ECC provision per 256-bit word: {budget.provisioned_bits} bits",
+        f"  MUSE redundancy: {budget.muse_bits} bits "
+        f"-> {budget.reduction_factor:.2f}x fewer (paper: 2.6x)",
+        f"  saved bits per word for authentication codes: "
+        f"{budget.saved_bits_per_word} (paper: 20)",
+    ]
+
+    device = ReliablePimDevice()
+    device.write_word(0, 123456789)
+    device.write_word(1, 987654321)
+    original = device.code.layout.extract_symbol(device._store[0], 12)
+    device.corrupt_device(0, symbol=12, value=original ^ 0x5)
+    product = device.dot_product([0], [1])
+    lines.append(
+        f"  storage: chip failure injected and corrected; "
+        f"dot product = {product} (correct: {123456789 * 987654321})"
+    )
+
+    coverage = fault_coverage(code.m, trials=coverage_trials)
+    lines.append(
+        f"  compute: residue check caught {100 * coverage:.1f}% of injected "
+        f"single-bit MAC faults over {coverage_trials} trials (expected 100%)"
+    )
+    return "\n".join(lines)
+
+
+def main(coverage_trials: int = 2000) -> str:
+    report = render(coverage_trials)
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""DRAM channel geometry (paper Sections IV, VII-A).
+
+The paper's codes are sized against concrete DDR4/DDR5 channel shapes:
+
+* **DDR4 ECC pair** — two DIMMs of 18 x4 devices form a 144-bit channel
+  (IBM POWER9 / Intel Xeon style); MUSE(144,132) and RS(144,128) live
+  here.
+* **DDR5 dual channel** — two 40-bit channels of ten x4 devices (or five
+  x8 devices) per DIMM; MUSE(80,69)/(80,67)/(80,70) and RS(80,64) live
+  here, with 80-bit codewords striped across both channels or split
+  into two bus beats.
+* **HBM2-PIM** — 256-bit data words with a 32-bit ECC provision
+  (Section VI-B).
+
+A geometry knows how many devices it exposes to one codeword and how
+wide each device's slice is; the striping layer maps codeword symbols
+onto those devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ChannelGeometry:
+    """One logical ECC channel as seen by the memory controller."""
+
+    name: str
+    device_bits: int
+    devices: int
+    beats: int = 1
+
+    def __post_init__(self) -> None:
+        if self.device_bits <= 0 or self.devices <= 0 or self.beats <= 0:
+            raise ValueError("geometry dimensions must be positive")
+
+    @property
+    def bus_bits(self) -> int:
+        """Wire width of one bus transfer."""
+        return self.device_bits * self.devices // self.beats
+
+    @property
+    def codeword_bits(self) -> int:
+        """Bits delivered per full codeword transfer (all beats)."""
+        return self.device_bits * self.devices
+
+    @property
+    def bits_per_device(self) -> int:
+        """Bits of one codeword held by a single device (all beats)."""
+        return self.codeword_bits // self.devices
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.devices} x{self.device_bits} devices, "
+            f"{self.beats} beat(s), {self.codeword_bits}-bit codewords"
+        )
+
+
+def ddr4_144bit() -> ChannelGeometry:
+    """Two DDR4 ECC DIMMs lockstepped: 36 x4 devices, 144-bit transfers."""
+    return ChannelGeometry(name="DDR4-2DIMM-x4", device_bits=4, devices=36)
+
+
+def ddr5_80bit_x4() -> ChannelGeometry:
+    """Both 40-bit DDR5 channels of one DIMM: 20 x4 devices."""
+    return ChannelGeometry(name="DDR5-2CH-x4", device_bits=4, devices=20)
+
+
+def ddr5_40bit_x8_two_beats() -> ChannelGeometry:
+    """One 40-bit DDR5 channel of ten x8 devices, codeword in two beats.
+
+    This is the MUSE(80,67) arrangement (Section IV): 80-bit codewords
+    split so "every bus transaction carries half of the 8-bit symbol" —
+    each device contributes 4 wires per beat, 8 bits per codeword.
+    """
+    return ChannelGeometry(
+        name="DDR5-1CH-x8-2beat", device_bits=8, devices=10, beats=2
+    )
+
+
+def hbm2_pim_256bit() -> ChannelGeometry:
+    """HBM2 with in-memory MACs: 256-bit data words (Section VI-B).
+
+    The geometry models the 256-bit read datapath plus the 12 check
+    bits of MUSE(268,256); the striping uses 67 virtual x4 slices.
+    """
+    return ChannelGeometry(name="HBM2-PIM", device_bits=4, devices=67)
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """A geometry plus capacity, addressing codewords by index."""
+
+    geometry: ChannelGeometry
+    codewords: int
+
+    @property
+    def data_bytes_per_codeword(self) -> int:
+        """Payload granule (8 bytes for the paper's 64-bit granule)."""
+        return 8
+
+    def validate_address(self, address: int) -> None:
+        if not 0 <= address < self.codewords:
+            raise IndexError(
+                f"codeword address {address} out of range [0, {self.codewords})"
+            )

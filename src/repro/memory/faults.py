@@ -1,0 +1,206 @@
+"""Fault injection models for DRAM codewords.
+
+Every fault is a small object with ``inject(codeword, rng) ->
+(corrupted, FaultRecord)``; the record says what physically happened so
+tests and the Monte-Carlo can classify outcomes against ground truth.
+
+Models cover the paper's evaluation space:
+
+* :class:`DeviceFailure` — one chip returns arbitrary garbage (the
+  ChipKill event; single-symbol bidirectional error).
+* :class:`StuckDevice` — one chip reads all-zeros / all-ones (a common
+  permanent-failure signature; still single-symbol).
+* :class:`MultiDeviceFailure` — k chips fail at once (the Table IV
+  multi-symbol detection workload).
+* :class:`RetentionFault` — refresh-starvation 1->0 flips, possibly
+  across the whole word (the asymmetric model of Section III-C).
+* :class:`RandomBitFlips` — k independent bidirectional flips anywhere
+  (Rowhammer-flavoured disturbance).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.symbols import SymbolLayout
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """Ground truth about one injection."""
+
+    kind: str
+    flipped_bits: tuple[int, ...]
+    devices: tuple[int, ...]
+
+    @property
+    def bit_count(self) -> int:
+        return len(self.flipped_bits)
+
+
+def _diff_bits(before: int, after: int) -> tuple[int, ...]:
+    diff = before ^ after
+    bits = []
+    position = 0
+    while diff:
+        if diff & 1:
+            bits.append(position)
+        diff >>= 1
+        position += 1
+    return tuple(bits)
+
+
+@dataclass(frozen=True)
+class DeviceFailure:
+    """Replace one device's slice with a random *different* value."""
+
+    layout: SymbolLayout
+    device: int | None = None  # None -> pick uniformly at injection time
+
+    def inject(self, codeword: int, rng: random.Random) -> tuple[int, FaultRecord]:
+        device = (
+            self.device
+            if self.device is not None
+            else rng.randrange(self.layout.symbol_count)
+        )
+        width = len(self.layout.symbols[device])
+        original = self.layout.extract_symbol(codeword, device)
+        corrupted_value = rng.randrange(1 << width)
+        while corrupted_value == original:
+            corrupted_value = rng.randrange(1 << width)
+        corrupted = self.layout.insert_symbol(codeword, device, corrupted_value)
+        return corrupted, FaultRecord(
+            kind="device_failure",
+            flipped_bits=_diff_bits(codeword, corrupted),
+            devices=(device,),
+        )
+
+
+@dataclass(frozen=True)
+class StuckDevice:
+    """One device reads a constant (all zeros or all ones)."""
+
+    layout: SymbolLayout
+    device: int
+    stuck_to_ones: bool = False
+
+    def inject(self, codeword: int, rng: random.Random) -> tuple[int, FaultRecord]:
+        width = len(self.layout.symbols[self.device])
+        value = (1 << width) - 1 if self.stuck_to_ones else 0
+        corrupted = self.layout.insert_symbol(codeword, self.device, value)
+        return corrupted, FaultRecord(
+            kind="stuck_device",
+            flipped_bits=_diff_bits(codeword, corrupted),
+            devices=(self.device,),
+        )
+
+
+@dataclass(frozen=True)
+class MultiDeviceFailure:
+    """k distinct devices return random different values simultaneously."""
+
+    layout: SymbolLayout
+    device_count: int = 2
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.device_count <= self.layout.symbol_count:
+            raise ValueError(
+                f"device_count must be in [2, {self.layout.symbol_count}]"
+            )
+
+    def inject(self, codeword: int, rng: random.Random) -> tuple[int, FaultRecord]:
+        devices = tuple(
+            sorted(rng.sample(range(self.layout.symbol_count), self.device_count))
+        )
+        corrupted = codeword
+        for device in devices:
+            width = len(self.layout.symbols[device])
+            original = self.layout.extract_symbol(corrupted, device)
+            value = rng.randrange(1 << width)
+            while value == original:
+                value = rng.randrange(1 << width)
+            corrupted = self.layout.insert_symbol(corrupted, device, value)
+        return corrupted, FaultRecord(
+            kind="multi_device_failure",
+            flipped_bits=_diff_bits(codeword, corrupted),
+            devices=devices,
+        )
+
+
+@dataclass(frozen=True)
+class RetentionFault:
+    """Asymmetric 1->0 decay of up to ``max_bits`` set bits.
+
+    Confined to one device when ``device`` is given (the Section III-C /
+    MUSE(80,67) model); otherwise decays set bits anywhere.
+    """
+
+    layout: SymbolLayout
+    max_bits: int = 4
+    device: int | None = None
+
+    def inject(self, codeword: int, rng: random.Random) -> tuple[int, FaultRecord]:
+        if self.device is not None:
+            candidate_bits = [
+                bit
+                for bit in self.layout.symbols[self.device]
+                if codeword >> bit & 1
+            ]
+            devices: tuple[int, ...] = (self.device,)
+        else:
+            candidate_bits = [
+                bit for bit in range(self.layout.n) if codeword >> bit & 1
+            ]
+            devices = ()
+        if not candidate_bits:
+            return codeword, FaultRecord("retention", (), devices)
+        count = rng.randint(1, min(self.max_bits, len(candidate_bits)))
+        chosen = tuple(sorted(rng.sample(candidate_bits, count)))
+        corrupted = codeword
+        for bit in chosen:
+            corrupted &= ~(1 << bit)
+        if self.device is None:
+            devices = tuple(
+                sorted({self.layout.symbol_of_bit(bit) for bit in chosen})
+            )
+        return corrupted, FaultRecord("retention", chosen, devices)
+
+
+@dataclass(frozen=True)
+class RandomBitFlips:
+    """k independent bidirectional bit flips anywhere in the word."""
+
+    layout: SymbolLayout
+    flips: int = 1
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.flips <= self.layout.n:
+            raise ValueError(f"flips must be in [1, {self.layout.n}]")
+
+    def inject(self, codeword: int, rng: random.Random) -> tuple[int, FaultRecord]:
+        bits = tuple(sorted(rng.sample(range(self.layout.n), self.flips)))
+        corrupted = codeword
+        for bit in bits:
+            corrupted ^= 1 << bit
+        devices = tuple(sorted({self.layout.symbol_of_bit(bit) for bit in bits}))
+        return corrupted, FaultRecord("bit_flips", bits, devices)
+
+
+@dataclass
+class FaultCampaign:
+    """Run a fault model against many codewords, collecting records."""
+
+    model: DeviceFailure | StuckDevice | MultiDeviceFailure | RetentionFault | RandomBitFlips
+    seed: int = 0
+    records: list[FaultRecord] = field(default_factory=list)
+
+    def run(self, codewords: list[int]) -> list[int]:
+        """Inject into every codeword; returns corrupted copies."""
+        rng = random.Random(self.seed)
+        corrupted_words = []
+        for codeword in codewords:
+            corrupted, record = self.model.inject(codeword, rng)
+            corrupted_words.append(corrupted)
+            self.records.append(record)
+        return corrupted_words

@@ -1,0 +1,108 @@
+"""Codeword striping: symbols onto DRAM devices (paper Figure 1a).
+
+The paper implements shuffling as "routing the signals between the
+memory controller and DRAM interface in a shuffled manner" — zero-cost
+wiring.  Here the same statement is executable: a
+:class:`DeviceStriping` binds a :class:`~repro.core.symbols.SymbolLayout`
+to a :class:`~repro.memory.dram.ChannelGeometry` so that symbol ``i`` of
+the layout is exactly the slice of the codeword stored in device ``i``.
+
+The striping is the fault-injection surface: killing device ``i``
+corrupts precisely ``layout.symbols[i]``'s bit positions — which is the
+single-symbol error model the MUSE multiplier was searched for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.symbols import SymbolLayout
+from repro.memory.dram import ChannelGeometry
+
+
+@dataclass(frozen=True)
+class DeviceStriping:
+    """Binding between a symbol layout and a physical channel."""
+
+    layout: SymbolLayout
+    geometry: ChannelGeometry
+
+    def __post_init__(self) -> None:
+        if self.layout.symbol_count != self.geometry.devices:
+            raise ValueError(
+                f"layout has {self.layout.symbol_count} symbols but the "
+                f"channel has {self.geometry.devices} devices"
+            )
+        if self.layout.n != self.geometry.codeword_bits:
+            raise ValueError(
+                f"layout covers {self.layout.n} bits but the channel "
+                f"transfers {self.geometry.codeword_bits}-bit codewords"
+            )
+
+    # ------------------------------------------------------------------
+    # Device views
+    # ------------------------------------------------------------------
+
+    def device_slice(self, codeword: int, device: int) -> int:
+        """Bits of ``codeword`` physically stored in ``device``."""
+        return self.layout.extract_symbol(codeword, device)
+
+    def replace_device_slice(self, codeword: int, device: int, value: int) -> int:
+        """Codeword with ``device``'s stored bits replaced by ``value``."""
+        return self.layout.insert_symbol(codeword, device, value)
+
+    def to_device_slices(self, codeword: int) -> tuple[int, ...]:
+        """Split a codeword into the per-device write values."""
+        return tuple(
+            self.layout.extract_symbol(codeword, device)
+            for device in range(self.geometry.devices)
+        )
+
+    def from_device_slices(self, slices: tuple[int, ...] | list[int]) -> int:
+        """Reassemble a codeword from per-device read values."""
+        if len(slices) != self.geometry.devices:
+            raise ValueError(
+                f"expected {self.geometry.devices} device slices, "
+                f"got {len(slices)}"
+            )
+        codeword = 0
+        for device, value in enumerate(slices):
+            codeword = self.layout.insert_symbol(codeword, device, value)
+        return codeword
+
+    # ------------------------------------------------------------------
+    # Bus-beat view (the MUSE(80,67) half-symbol transfer, Section IV)
+    # ------------------------------------------------------------------
+
+    def beat_slices(self, codeword: int) -> tuple[tuple[int, ...], ...]:
+        """Per-beat, per-device wire values.
+
+        Beat ``b`` carries bits ``[b*w, (b+1)*w)`` of each device's
+        slice, where ``w = device_bits / beats`` wires per device per
+        beat.  For single-beat channels this is just
+        :meth:`to_device_slices` wrapped in one tuple.
+        """
+        beats = self.geometry.beats
+        wires = self.geometry.device_bits // beats
+        slices = self.to_device_slices(codeword)
+        mask = (1 << wires) - 1
+        return tuple(
+            tuple((value >> (beat * wires)) & mask for value in slices)
+            for beat in range(beats)
+        )
+
+    def from_beat_slices(
+        self, beats: tuple[tuple[int, ...], ...] | list[tuple[int, ...]]
+    ) -> int:
+        """Reassemble a codeword from beat-level wire values."""
+        wires = self.geometry.device_bits // self.geometry.beats
+        slices = [0] * self.geometry.devices
+        for beat_index, beat in enumerate(beats):
+            for device, value in enumerate(beat):
+                slices[device] |= value << (beat_index * wires)
+        return self.from_device_slices(slices)
+
+
+def muse_striping(layout: SymbolLayout, geometry: ChannelGeometry) -> DeviceStriping:
+    """Validated constructor with a friendlier error for shape mismatch."""
+    return DeviceStriping(layout, geometry)

@@ -1,0 +1,87 @@
+"""Performance simulation substrate (Figures 6-7, Table VI).
+
+* :mod:`repro.perf.cache` — L1/L2/L3 write-back hierarchy.
+* :mod:`repro.perf.dram_timing` — row-buffer timing + DRAM power model.
+* :mod:`repro.perf.workloads` — 22 SPEC-2017-shaped synthetic traces.
+* :mod:`repro.perf.tagging` — memory-tagging configurations incl. the
+  32-entry metadata cache.
+* :mod:`repro.perf.simulator` — blocking-CPU driver and the
+  figure/table runners.
+"""
+
+from repro.perf.cache import Cache, CacheHierarchy, CacheStats, MemoryEvent
+from repro.perf.dram_timing import (
+    DramChannel,
+    DramCounters,
+    DramPowerConfig,
+    DramPowerModel,
+    DramTimingConfig,
+)
+from repro.perf.simulator import (
+    FIGURE6_CONFIGS,
+    FIGURE7_CONFIGS,
+    CpuTiming,
+    EccTiming,
+    Figure6Row,
+    Figure7Row,
+    MUSE_TIMING,
+    NO_ECC_TIMING,
+    PowerSummaryRow,
+    RS_TIMING,
+    SimResult,
+    Simulator,
+    SystemConfig,
+    run_figure6,
+    run_figure7,
+    summarize_table6,
+)
+from repro.perf.tagging import (
+    MetadataCache,
+    TaggingEngine,
+    TaggingMode,
+    metadata_address_for,
+)
+from repro.perf.workloads import (
+    SPEC2017_PROFILES,
+    MemoryOp,
+    TraceGenerator,
+    WorkloadProfile,
+    profile_by_name,
+)
+
+__all__ = [
+    "Cache",
+    "CacheHierarchy",
+    "CacheStats",
+    "CpuTiming",
+    "DramChannel",
+    "DramCounters",
+    "DramPowerConfig",
+    "DramPowerModel",
+    "DramTimingConfig",
+    "EccTiming",
+    "FIGURE6_CONFIGS",
+    "FIGURE7_CONFIGS",
+    "Figure6Row",
+    "Figure7Row",
+    "MUSE_TIMING",
+    "MemoryEvent",
+    "MemoryOp",
+    "MetadataCache",
+    "NO_ECC_TIMING",
+    "PowerSummaryRow",
+    "RS_TIMING",
+    "SPEC2017_PROFILES",
+    "SimResult",
+    "Simulator",
+    "SystemConfig",
+    "TaggingEngine",
+    "TaggingMode",
+    "TraceGenerator",
+    "WorkloadProfile",
+    "metadata_address_for",
+    "profile_by_name",
+    "run_figure6",
+    "run_figure7",
+    "summarize_table6",
+]

@@ -1,0 +1,35 @@
+"""Processing-in-memory case study (paper Section VI-B).
+
+* :mod:`repro.pim.mac` — residue-checked multiply-accumulate with fault
+  injection (the e(f(x,y)) == f(e(x), e(y)) homomorphism, executable).
+* :mod:`repro.pim.hbm` — HBM2-PIM redundancy accounting (2.6x claim)
+  and the storage+compute device model built on MUSE(268,256).
+"""
+
+from repro.pim.hbm import (
+    HBM_PROVISIONED_ECC_BITS_PER_WORD,
+    WORD_BITS,
+    PimRedundancyBudget,
+    ReliablePimDevice,
+)
+from repro.pim.mac import (
+    CheckedValue,
+    ComputeFaultError,
+    MacFaultSite,
+    ResidueCheckedMac,
+    dot_product_with_faults,
+    fault_coverage,
+)
+
+__all__ = [
+    "CheckedValue",
+    "ComputeFaultError",
+    "HBM_PROVISIONED_ECC_BITS_PER_WORD",
+    "MacFaultSite",
+    "PimRedundancyBudget",
+    "ReliablePimDevice",
+    "ResidueCheckedMac",
+    "WORD_BITS",
+    "dot_product_with_faults",
+    "fault_coverage",
+]

@@ -1,0 +1,90 @@
+"""HBM2-PIM redundancy accounting and the reliable-PIM device model
+(paper Section VI-B).
+
+The setup follows the commercial HBM2-PIM part the paper cites: data is
+read in 256-bit words and fed to in-memory MAC units.  The HBM standard
+provisions 64 ECC bits per 64 data bytes — 32 bits per 256-bit word.
+MUSE(268,256) protects the same word with 12 bits, a 2.67x reduction,
+and because it is a residue code the *same* check information also
+verifies the MAC arithmetic (see :mod:`repro.pim.mac`); the ~20 saved
+bits per word are available for authentication codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.codec import DecodeStatus, MuseCode
+from repro.core.codes import muse_268_256
+from repro.pim.mac import CheckedValue, ComputeFaultError, ResidueCheckedMac
+
+#: HBM ECC provision: 64 bits per 64 bytes = 32 bits per 256-bit word.
+HBM_PROVISIONED_ECC_BITS_PER_WORD = 32
+WORD_BITS = 256
+
+
+@dataclass(frozen=True)
+class PimRedundancyBudget:
+    """The Section VI-B arithmetic, as data."""
+
+    provisioned_bits: int = HBM_PROVISIONED_ECC_BITS_PER_WORD
+    muse_bits: int = 12  # MUSE(268,256) redundancy
+
+    @property
+    def reduction_factor(self) -> float:
+        """The paper's "2.6x fewer redundancy bits"."""
+        return self.provisioned_bits / self.muse_bits
+
+    @property
+    def saved_bits_per_word(self) -> int:
+        """Freed provision available for authentication codes (~20b)."""
+        return self.provisioned_bits - self.muse_bits
+
+
+@dataclass
+class ReliablePimDevice:
+    """An HBM2-PIM bank: MUSE-protected storage + residue-checked MACs.
+
+    One code covers both halves of the device's life:
+
+    * **storage** — words live as MUSE(268,256) codewords; reads run the
+      Figure-4 decoder, so a chip failure inside the bank is corrected;
+    * **compute** — the MAC keeps a mod-m shadow of its accumulator and
+      every readout is congruence-checked.
+    """
+
+    code: MuseCode = field(default_factory=muse_268_256)
+    _store: dict[int, int] = field(default_factory=dict)
+
+    def write_word(self, address: int, value: int) -> None:
+        if not 0 <= value < (1 << WORD_BITS):
+            raise ValueError(f"PIM words are {WORD_BITS} bits")
+        self._store[address] = self.code.encode(value)
+
+    def read_word(self, address: int) -> int:
+        result = self.code.decode(self._store[address])
+        if result.status is DecodeStatus.DETECTED:
+            raise RuntimeError(f"uncorrectable storage error at {address:#x}")
+        return result.data
+
+    def corrupt_device(self, address: int, symbol: int, value: int) -> None:
+        """Inject a chip failure into one stored word."""
+        codeword = self._store[address]
+        self._store[address] = self.code.layout.insert_symbol(
+            codeword, symbol, value
+        )
+
+    def dot_product(self, addresses_a: list[int], addresses_b: list[int]) -> int:
+        """Residue-checked MAC over stored (possibly corrected) words."""
+        if len(addresses_a) != len(addresses_b):
+            raise ValueError("operand address lists must match in length")
+        m = self.code.m
+        mac = ResidueCheckedMac(m)
+        for addr_a, addr_b in zip(addresses_a, addresses_b):
+            a = CheckedValue.of(self.read_word(addr_a), m)
+            b = CheckedValue.of(self.read_word(addr_b), m)
+            mac.accumulate(a, b)
+        try:
+            return mac.verify_and_read()
+        except ComputeFaultError:
+            raise RuntimeError("PIM compute fault detected by residue check")

@@ -1,0 +1,43 @@
+"""Reliability evaluation: the Table IV Monte-Carlo machinery.
+
+* :class:`MuseMsedSimulator` / :class:`RsMsedSimulator` — k-symbol
+  error injection and outcome classification for each code family.
+* :func:`build_table_iv` — the full MUSE-vs-RS design-point sweep.
+* :class:`MsedResult` — detected / miscorrected / silent accounting.
+"""
+
+from repro.reliability.analytic import (
+    AnalyticMsed,
+    predict,
+    predict_table_iv_muse_row,
+)
+from repro.reliability.metrics import (
+    DesignPoint,
+    MsedResult,
+    MsedTally,
+    TableIV,
+)
+from repro.reliability.monte_carlo import (
+    MuseMsedSimulator,
+    RsMsedSimulator,
+    build_table_iv,
+    largest_144_multiplier,
+    muse_design_point,
+    rs_design_point,
+)
+
+__all__ = [
+    "AnalyticMsed",
+    "DesignPoint",
+    "MsedResult",
+    "MsedTally",
+    "MuseMsedSimulator",
+    "RsMsedSimulator",
+    "TableIV",
+    "build_table_iv",
+    "largest_144_multiplier",
+    "muse_design_point",
+    "predict",
+    "predict_table_iv_muse_row",
+    "rs_design_point",
+]

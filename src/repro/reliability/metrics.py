@@ -1,0 +1,143 @@
+"""Outcome accounting for the reliability Monte Carlo (Table IV).
+
+Each injected multi-symbol error lands in exactly one bucket:
+
+* ``detected`` — the decoder declared the word uncorrectable (the good
+  outcome for an error beyond the correction guarantee); split by which
+  detector fired.
+* ``miscorrected`` — the decoder "corrected" to the wrong word (the bad
+  outcome Table IV's MSED rate penalizes).
+* ``silent`` — the corrupted word aliased to a valid codeword
+  (remainder / syndrome of zero) and read back as clean.  The paper's
+  syndrome-comparison method folds these into "detectable"; we count
+  them separately and honestly, and report both rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MsedTally:
+    """Mutable counters filled by a Monte-Carlo run."""
+
+    trials: int = 0
+    detected_no_match: int = 0
+    detected_confinement: int = 0
+    miscorrected: int = 0
+    silent: int = 0
+
+    def record_detected_no_match(self) -> None:
+        self.trials += 1
+        self.detected_no_match += 1
+
+    def record_detected_confinement(self) -> None:
+        self.trials += 1
+        self.detected_confinement += 1
+
+    def record_miscorrected(self) -> None:
+        self.trials += 1
+        self.miscorrected += 1
+
+    def record_silent(self) -> None:
+        self.trials += 1
+        self.silent += 1
+
+    def freeze(self) -> "MsedResult":
+        return MsedResult(
+            trials=self.trials,
+            detected_no_match=self.detected_no_match,
+            detected_confinement=self.detected_confinement,
+            miscorrected=self.miscorrected,
+            silent=self.silent,
+        )
+
+
+@dataclass(frozen=True)
+class MsedResult:
+    """Immutable summary of one design point's Monte-Carlo run."""
+
+    trials: int
+    detected_no_match: int
+    detected_confinement: int
+    miscorrected: int
+    silent: int
+
+    @property
+    def detected(self) -> int:
+        return self.detected_no_match + self.detected_confinement
+
+    @property
+    def msed_rate(self) -> float:
+        """Fraction of sampled multi-symbol errors that were detected."""
+        if self.trials == 0:
+            return 0.0
+        return self.detected / self.trials
+
+    @property
+    def miscorrection_rate(self) -> float:
+        if self.trials == 0:
+            return 0.0
+        return self.miscorrected / self.trials
+
+    @property
+    def silent_rate(self) -> float:
+        if self.trials == 0:
+            return 0.0
+        return self.silent / self.trials
+
+    @property
+    def msed_percent(self) -> float:
+        return 100.0 * self.msed_rate
+
+    def describe(self) -> str:
+        return (
+            f"MSED {self.msed_percent:.2f}% over {self.trials} trials "
+            f"(miscorrected {self.miscorrected}, silent {self.silent}, "
+            f"no-match {self.detected_no_match}, "
+            f"confinement {self.detected_confinement})"
+        )
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One column of Table IV for one code family."""
+
+    family: str  # "MUSE" or "RS"
+    extra_bits: int
+    label: str
+    chipkill: bool
+    result: MsedResult | None
+    note: str = ""
+
+
+@dataclass
+class TableIV:
+    """The assembled table: family -> extra bits -> design point."""
+
+    points: list[DesignPoint] = field(default_factory=list)
+
+    def add(self, point: DesignPoint) -> None:
+        self.points.append(point)
+
+    def row(self, family: str) -> dict[int, DesignPoint]:
+        return {p.extra_bits: p for p in self.points if p.family == family}
+
+    def render(self) -> str:
+        """Text rendering shaped like the paper's Table IV."""
+        columns = sorted({p.extra_bits for p in self.points})
+        lines = ["Code  " + "".join(f"{c:>10}" for c in columns)]
+        for family in ("RS", "MUSE"):
+            row = self.row(family)
+            cells = []
+            for column in columns:
+                point = row.get(column)
+                if point is None or point.result is None:
+                    cells.append(f"{'-':>10}")
+                else:
+                    flag = "" if point.chipkill else "*"
+                    cells.append(f"{point.result.msed_percent:>9.2f}{flag or ' '}")
+            lines.append(f"{family:<6}" + "".join(cells))
+        lines.append("(*) code exists but does not guarantee ChipKill")
+        return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""ChipKill practicality analysis (paper Section VII-A).
+
+A code only provides ChipKill if a single *device* failure is guaranteed
+to corrupt at most one *code symbol*.  Reed-Solomon codes whose symbol
+size is not a multiple of the device width interleave device bits across
+symbol boundaries: the paper's example is a 5-bit-symbol RS code over x4
+devices, where one dead chip corrupts two adjacent symbols and the
+single-symbol corrector miscorrects or fails.
+
+This module makes that geometric argument executable: it maps device
+bit ranges onto symbol bit ranges and reports whether every device is
+confined to one symbol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ChipkillAssessment:
+    """Verdict for one (symbol size, device width, channel) geometry."""
+
+    symbol_bits: int
+    device_bits: int
+    channel_bits: int
+    chipkill: bool
+    worst_device: int | None
+    symbols_touched: int
+
+    def explain(self) -> str:
+        if self.chipkill:
+            return (
+                f"{self.symbol_bits}-bit symbols align with {self.device_bits}-bit "
+                f"devices: every device maps into exactly one symbol (ChipKill holds)"
+            )
+        return (
+            f"{self.symbol_bits}-bit symbols over {self.device_bits}-bit devices: "
+            f"device {self.worst_device} spans {self.symbols_touched} symbols; a "
+            f"single chip failure becomes a multi-symbol error (no ChipKill)"
+        )
+
+
+def device_symbol_span(
+    device: int, device_bits: int, symbol_bits: int
+) -> set[int]:
+    """Indices of the symbols containing any bit of ``device``.
+
+    Bits are laid out contiguously: device ``d`` owns bits
+    ``[d*w, (d+1)*w)`` and symbol ``s`` owns bits ``[s*b, (s+1)*b)`` —
+    the standard sequential striping for both code families.
+    """
+    first_bit = device * device_bits
+    last_bit = first_bit + device_bits - 1
+    return set(range(first_bit // symbol_bits, last_bit // symbol_bits + 1))
+
+
+def assess(
+    symbol_bits: int, device_bits: int, channel_bits: int
+) -> ChipkillAssessment:
+    """Check whether every device in the channel maps into one symbol."""
+    if channel_bits % device_bits:
+        raise ValueError(
+            f"channel of {channel_bits} bits is not a whole number of "
+            f"{device_bits}-bit devices"
+        )
+    worst_device = None
+    worst_span = 1
+    for device in range(channel_bits // device_bits):
+        span = len(device_symbol_span(device, device_bits, symbol_bits))
+        if span > worst_span:
+            worst_span = span
+            worst_device = device
+    return ChipkillAssessment(
+        symbol_bits=symbol_bits,
+        device_bits=device_bits,
+        channel_bits=channel_bits,
+        chipkill=worst_span == 1,
+        worst_device=worst_device,
+        symbols_touched=worst_span,
+    )
+
+
+def practical_for_dram(symbol_bits: int, device_bits: int = 4) -> bool:
+    """The paper's shorthand: symbol size must be a device-width multiple.
+
+    6-bit symbols fail not only alignment but existence — "6-bit-wide
+    DRAMs do not exist" (Section VII-A); the alignment test subsumes
+    that argument for the x4 devices the table assumes.
+    """
+    return symbol_bits % device_bits == 0

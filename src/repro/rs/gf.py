@@ -1,0 +1,124 @@
+"""Galois-field GF(2^m) arithmetic with log/antilog tables.
+
+The paper's Reed-Solomon baseline ("for simplicity, we picked lookup
+tables to implement Galois Field arithmetic", Section VII-B) is
+reproduced the same way: a generator-power table and its inverse give
+O(1) multiply/divide/log, which is both the hardware structure the paper
+costs (the LUTs in Table V) and a fast software path.
+
+Symbol sizes 2..16 bits are supported — Table IV needs 5-, 6-, 7- and
+8-bit symbols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+#: Primitive polynomials (with the x^m term) for each supported field size.
+PRIMITIVE_POLYNOMIALS: dict[int, int] = {
+    2: 0b111,                # x^2 + x + 1
+    3: 0b1011,               # x^3 + x + 1
+    4: 0b10011,              # x^4 + x + 1
+    5: 0b100101,             # x^5 + x^2 + 1
+    6: 0b1000011,            # x^6 + x + 1
+    7: 0b10001001,           # x^7 + x^3 + 1
+    8: 0b100011101,          # x^8 + x^4 + x^3 + x^2 + 1
+    9: 0b1000010001,         # x^9 + x^4 + 1
+    10: 0b10000001001,       # x^10 + x^3 + 1
+    11: 0b100000000101,      # x^11 + x^2 + 1
+    12: 0b1000001010011,     # x^12 + x^6 + x^4 + x + 1
+    13: 0b10000000011011,    # x^13 + x^4 + x^3 + x + 1
+    14: 0b100010001000011,   # x^14 + x^10 + x^6 + x + 1
+    15: 0b1000000000000011,  # x^15 + x + 1
+    16: 0b10001000000001011, # x^16 + x^12 + x^3 + x + 1
+}
+
+
+@dataclass
+class GaloisField:
+    """GF(2^m) with exp/log tables generated from a primitive element.
+
+    ``exp[i] == alpha^i`` for ``i in [0, 2^m - 1)`` and
+    ``log[exp[i]] == i``; zero has no logarithm.
+    """
+
+    m: int
+    exp: list[int] = field(init=False, repr=False)
+    log: list[int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.m not in PRIMITIVE_POLYNOMIALS:
+            supported = sorted(PRIMITIVE_POLYNOMIALS)
+            raise ValueError(f"unsupported field GF(2^{self.m}); have {supported}")
+        poly = PRIMITIVE_POLYNOMIALS[self.m]
+        size = 1 << self.m
+        self.exp = [0] * (size - 1)
+        self.log = [0] * size
+        value = 1
+        for i in range(size - 1):
+            self.exp[i] = value
+            self.log[value] = i
+            value <<= 1
+            if value & size:
+                value ^= poly
+        if value != 1:
+            raise AssertionError(f"polynomial {poly:#x} is not primitive")
+
+    # ------------------------------------------------------------------
+    # Field operations
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of field elements, 2^m."""
+        return 1 << self.m
+
+    @property
+    def order(self) -> int:
+        """Multiplicative group order, 2^m - 1."""
+        return (1 << self.m) - 1
+
+    def add(self, a: int, b: int) -> int:
+        """Addition == subtraction == XOR in characteristic 2."""
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return self.exp[(self.log[a] + self.log[b]) % self.order]
+
+    def div(self, a: int, b: int) -> int:
+        if b == 0:
+            raise ZeroDivisionError("division by zero field element")
+        if a == 0:
+            return 0
+        return self.exp[(self.log[a] - self.log[b]) % self.order]
+
+    def inv(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse")
+        return self.exp[(self.order - self.log[a]) % self.order]
+
+    def pow_alpha(self, i: int) -> int:
+        """alpha^i for any integer i (negative allowed)."""
+        return self.exp[i % self.order]
+
+    def log_alpha(self, a: int) -> int:
+        """Discrete log base alpha; raises for zero."""
+        if a == 0:
+            raise ValueError("zero has no discrete logarithm")
+        return self.log[a]
+
+    def poly_eval(self, coefficients: list[int], x: int) -> int:
+        """Evaluate a polynomial (highest-degree coefficient first)."""
+        result = 0
+        for coefficient in coefficients:
+            result = self.mul(result, x) ^ coefficient
+        return result
+
+
+@lru_cache(maxsize=None)
+def get_field(m: int) -> GaloisField:
+    """Shared per-size field instance (tables are immutable in practice)."""
+    return GaloisField(m)

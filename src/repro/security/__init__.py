@@ -1,0 +1,46 @@
+"""Security co-design case studies (paper Section VI-A).
+
+* :mod:`repro.security.hashing` — keyed 40-bit line hashes.
+* :mod:`repro.security.rowhammer` — attack/detection simulation and the
+  2^-w escape-rate law behind the paper's 1 - 2^-40 claim.
+* :mod:`repro.security.mte` — ARM-MTE-like tagging with tags stored in
+  MUSE spare bits (ECC-protected, traffic-free).
+"""
+
+from repro.security.hashing import LineHasher
+from repro.security.mte import (
+    GRANULE_BYTES,
+    TAG_BITS,
+    MuseTaggedMemory,
+    TagMismatchError,
+    pointer_address,
+    pointer_tag,
+    tag_pointer,
+)
+from repro.security.rowhammer import (
+    AttackOutcome,
+    EscapeRatePoint,
+    HashedLine,
+    RowhammerAttacker,
+    deployed_detection_probability,
+    escape_rate_sweep,
+    measure_escape_rate,
+)
+
+__all__ = [
+    "AttackOutcome",
+    "EscapeRatePoint",
+    "GRANULE_BYTES",
+    "HashedLine",
+    "LineHasher",
+    "MuseTaggedMemory",
+    "RowhammerAttacker",
+    "TAG_BITS",
+    "TagMismatchError",
+    "deployed_detection_probability",
+    "escape_rate_sweep",
+    "measure_escape_rate",
+    "pointer_address",
+    "pointer_tag",
+    "tag_pointer",
+]

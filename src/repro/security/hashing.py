@@ -1,0 +1,75 @@
+"""Keyed cache-line hashes for Rowhammer detection (paper Section VI-A).
+
+MUSE(80,69) leaves 5 spare bits per 64-bit word — 40 bits per 64-byte
+cache line — which the paper fills with a keyed hash of the line.  An
+attacker flipping bits via Rowhammer must also produce the matching
+hash, or the corruption is detected; with a 40-bit hash the attack
+succeeds with probability 2^-40.
+
+The hash here is a multiply-mix construction over 64-bit lanes
+(xorshift-multiply rounds, truncated to the requested width).  It is a
+*detection* hash with near-uniform avalanche — exactly the collision
+behaviour the 2^-w argument requires — not a cryptographic MAC; the
+paper's argument likewise only relies on the attacker not being able to
+predict the digest without the key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_MASK64 = (1 << 64) - 1
+_MULT1 = 0xFF51AFD7ED558CCD
+_MULT2 = 0xC4CEB9FE1A85EC53
+
+
+def _mix64(value: int) -> int:
+    """Murmur3-style 64-bit finalizer (full avalanche)."""
+    value &= _MASK64
+    value ^= value >> 33
+    value = (value * _MULT1) & _MASK64
+    value ^= value >> 33
+    value = (value * _MULT2) & _MASK64
+    value ^= value >> 33
+    return value
+
+
+@dataclass(frozen=True)
+class LineHasher:
+    """Keyed w-bit hash over 512-bit cache lines.
+
+    Parameters
+    ----------
+    width_bits:
+        Digest width; the paper uses 40 (5 spare bits x 8 words).
+    key:
+        Secret key; without it the attacker cannot precompute digests.
+    """
+
+    width_bits: int = 40
+    key: int = 0x5EED_C0DE_F00D
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.width_bits <= 64:
+            raise ValueError("hash width must be within [1, 64] bits")
+
+    def digest(self, line: int) -> int:
+        """Hash a 512-bit line (given as an integer) to ``width_bits``."""
+        if line < 0:
+            raise ValueError("line value must be non-negative")
+        state = _mix64(self.key)
+        remaining = line
+        for lane_index in range(8):  # 8 x 64-bit lanes of a 64-byte line
+            lane = remaining & _MASK64
+            remaining >>= 64
+            state = _mix64(state ^ _mix64(lane + lane_index + 1))
+        if remaining:
+            # Lines wider than 512 bits keep folding, 64 bits at a time.
+            while remaining:
+                state = _mix64(state ^ (remaining & _MASK64))
+                remaining >>= 64
+        return state & ((1 << self.width_bits) - 1)
+
+    def matches(self, line: int, stored_digest: int) -> bool:
+        """Integrity check on read."""
+        return self.digest(line) == stored_digest

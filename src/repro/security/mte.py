@@ -1,0 +1,138 @@
+"""ARM-MTE-like memory tagging semantics (paper Sections VI-A, VII-D).
+
+The scheme: every 16-byte granule of memory carries a 4-bit *allocation
+tag*; every pointer carries a 4-bit *logical tag* in its unused high
+bits.  A load/store whose pointer tag mismatches the granule tag faults
+— catching use-after-free and adjacent-overflow bugs.
+
+:class:`MuseTaggedMemory` stores the allocation tags in the spare bits
+of MUSE(80,69) codewords, so the tags are (a) free — no extra DRAM
+traffic, the Figure-7 result — and (b) ECC-protected: a DRAM device
+failure corrupts tag and data together and the MUSE decoder corrects
+both.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.codec import DecodeStatus, MuseCode
+from repro.core.codes import muse_80_69
+
+TAG_BITS = 4
+GRANULE_BYTES = 16
+_TAG_SHIFT = 56  # tags ride in pointer bits [56, 60) (ARM TBI range)
+
+
+def tag_pointer(address: int, tag: int) -> int:
+    """Place a logical tag in the pointer's unused high bits."""
+    if not 0 <= tag < (1 << TAG_BITS):
+        raise ValueError(f"tag must be a {TAG_BITS}-bit value")
+    cleared = address & ~(((1 << TAG_BITS) - 1) << _TAG_SHIFT)
+    return cleared | (tag << _TAG_SHIFT)
+
+
+def pointer_tag(pointer: int) -> int:
+    return (pointer >> _TAG_SHIFT) & ((1 << TAG_BITS) - 1)
+
+
+def pointer_address(pointer: int) -> int:
+    return pointer & ~(((1 << TAG_BITS) - 1) << _TAG_SHIFT)
+
+
+class TagMismatchError(Exception):
+    """The MTE fault: pointer tag != allocation tag."""
+
+
+@dataclass
+class MuseTaggedMemory:
+    """64-bit words + 4-bit tags packed into MUSE(80,69) codewords.
+
+    Each codeword carries ``64 data bits | 4 tag bits | 1 unused spare``
+    in its 69-bit payload.  Loads check the pointer's tag against the
+    stored allocation tag after ECC decoding, so a corrected chip
+    failure never produces a spurious tag fault.
+    """
+
+    code: MuseCode = field(default_factory=muse_80_69)
+    _store: dict[int, int] = field(default_factory=dict)
+    _rng: random.Random = field(default_factory=lambda: random.Random(0x7A6))
+
+    def __post_init__(self) -> None:
+        if self.code.spare_bits(64) < TAG_BITS:
+            raise ValueError(
+                f"{self.code.name} lacks room for {TAG_BITS}-bit tags"
+            )
+
+    # ------------------------------------------------------------------
+    # Allocation interface
+    # ------------------------------------------------------------------
+
+    def allocate(self, address: int, words: int) -> int:
+        """Color a region with a fresh random tag; returns tagged pointer."""
+        tag = self._rng.randrange(1 << TAG_BITS)
+        for index in range(words):
+            self._write_raw(address + 8 * index, data=0, tag=tag)
+        return tag_pointer(address, tag)
+
+    def free(self, pointer: int, words: int) -> None:
+        """Retag the region so stale pointers fault (use-after-free)."""
+        address = pointer_address(pointer)
+        old_tag = pointer_tag(pointer)
+        new_tag = (old_tag + 1 + self._rng.randrange((1 << TAG_BITS) - 1)) % (
+            1 << TAG_BITS
+        )
+        for index in range(words):
+            stored = self._read_raw(address + 8 * index)
+            self._write_raw(address + 8 * index, data=stored[0], tag=new_tag)
+
+    # ------------------------------------------------------------------
+    # Tag-checked access
+    # ------------------------------------------------------------------
+
+    def store(self, pointer: int, value: int) -> None:
+        address = pointer_address(pointer)
+        data, tag = self._read_raw(address)
+        self._check(pointer, tag)
+        self._write_raw(address, data=value, tag=tag)
+
+    def load(self, pointer: int) -> int:
+        address = pointer_address(pointer)
+        data, tag = self._read_raw(address)
+        self._check(pointer, tag)
+        return data
+
+    def _check(self, pointer: int, allocation_tag: int) -> None:
+        if pointer_tag(pointer) != allocation_tag:
+            raise TagMismatchError(
+                f"pointer tag {pointer_tag(pointer):#x} != allocation tag "
+                f"{allocation_tag:#x} at {pointer_address(pointer):#x}"
+            )
+
+    # ------------------------------------------------------------------
+    # ECC-protected backing store
+    # ------------------------------------------------------------------
+
+    def _write_raw(self, address: int, data: int, tag: int) -> None:
+        payload = (tag << 64) | (data & ((1 << 64) - 1))
+        self._store[address] = self.code.encode(payload)
+
+    def _read_raw(self, address: int) -> tuple[int, int]:
+        codeword = self._store[address]
+        result = self.code.decode(codeword)
+        if result.status is DecodeStatus.DETECTED:
+            raise RuntimeError(f"uncorrectable memory error at {address:#x}")
+        payload = result.data
+        return payload & ((1 << 64) - 1), (payload >> 64) & ((1 << TAG_BITS) - 1)
+
+    # ------------------------------------------------------------------
+    # Fault hook for tests / demos
+    # ------------------------------------------------------------------
+
+    def corrupt_device(self, address: int, device: int, value: int) -> None:
+        """Overwrite one DRAM device's slice of the codeword at address."""
+        codeword = self._store[address]
+        self._store[address] = self.code.layout.insert_symbol(
+            codeword, device, value
+        )

@@ -1,0 +1,143 @@
+"""Rowhammer attack/detection simulation (paper Section VI-A).
+
+The scenario: a 64-byte cache line is stored as eight MUSE(80,69)
+codewords whose 5 spare bits per word hold a 40-bit keyed hash of the
+line.  A Rowhammer attacker flips bits in the victim line (and possibly
+in the stored hash); on the next read the memory controller recomputes
+the hash.  Unless the attacker lands on a colliding (line, digest) pair
+— probability 2^-40 for a keyed hash they cannot predict — the attack
+is detected.
+
+2^-40 cannot be measured by direct Monte Carlo, so the experiment
+verifies the *law*: for truncated hashes of width w = 4..16 the escape
+(undetected-corruption) rate measured by simulation tracks 2^-w, and the
+law extrapolates to the paper's 2^-40 at the deployed width.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.security.hashing import LineHasher
+
+LINE_BITS = 512
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Result of one simulated Rowhammer attempt."""
+
+    flipped_line_bits: tuple[int, ...]
+    flipped_digest_bits: tuple[int, ...]
+    detected: bool
+
+    @property
+    def corrupted(self) -> bool:
+        return bool(self.flipped_line_bits) or bool(self.flipped_digest_bits)
+
+
+@dataclass
+class HashedLine:
+    """A cache line plus its stored digest (the spare-bit payload)."""
+
+    hasher: LineHasher
+    data: int
+    digest: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.digest = self.hasher.digest(self.data)
+
+    def verify(self) -> bool:
+        return self.hasher.matches(self.data, self.digest)
+
+
+@dataclass
+class RowhammerAttacker:
+    """Flips random bits across the victim line and its stored digest.
+
+    ``line_flips`` bits flip in the data; with probability
+    ``digest_flip_probability`` per attempt, one stored-digest bit flips
+    too (the hash lives in the same DRAM row and is equally hammerable).
+    """
+
+    line_flips: int = 3
+    digest_flip_probability: float = 0.5
+
+    def attack(self, line: HashedLine, rng: random.Random) -> AttackOutcome:
+        line_bits = tuple(
+            sorted(rng.sample(range(LINE_BITS), self.line_flips))
+        )
+        for bit in line_bits:
+            line.data ^= 1 << bit
+        digest_bits: tuple[int, ...] = ()
+        if rng.random() < self.digest_flip_probability:
+            bit = rng.randrange(line.hasher.width_bits)
+            line.digest ^= 1 << bit
+            digest_bits = (bit,)
+        detected = not line.verify()
+        return AttackOutcome(
+            flipped_line_bits=line_bits,
+            flipped_digest_bits=digest_bits,
+            detected=detected,
+        )
+
+
+@dataclass(frozen=True)
+class EscapeRatePoint:
+    """Measured escape rate at one hash width."""
+
+    width_bits: int
+    attempts: int
+    escapes: int
+
+    @property
+    def escape_rate(self) -> float:
+        return self.escapes / self.attempts if self.attempts else 0.0
+
+    @property
+    def expected_rate(self) -> float:
+        """The 2^-w law the paper's claim instantiates at w = 40."""
+        return 2.0 ** -self.width_bits
+
+
+def measure_escape_rate(
+    width_bits: int,
+    attempts: int,
+    seed: int = 7,
+    line_flips: int = 3,
+) -> EscapeRatePoint:
+    """Monte-Carlo escape rate for one truncated hash width.
+
+    An *escape* is a corrupted line whose recomputed hash still matches
+    the stored digest — the attacker wins.  The attacker model flips
+    ``line_flips`` random data bits and sometimes a digest bit, i.e.
+    they cannot aim (the keyed hash denies them a predictable target).
+    """
+    rng = random.Random(seed)
+    hasher = LineHasher(width_bits=width_bits)
+    attacker = RowhammerAttacker(line_flips=line_flips)
+    escapes = 0
+    for _ in range(attempts):
+        line = HashedLine(hasher, rng.getrandbits(LINE_BITS))
+        outcome = attacker.attack(line, rng)
+        if outcome.corrupted and not outcome.detected:
+            escapes += 1
+    return EscapeRatePoint(width_bits=width_bits, attempts=attempts, escapes=escapes)
+
+
+def escape_rate_sweep(
+    widths: tuple[int, ...] = (4, 6, 8, 10, 12),
+    attempts_per_width: int = 200_000,
+    seed: int = 7,
+) -> list[EscapeRatePoint]:
+    """The width sweep behind the extrapolated 1 - 2^-40 claim."""
+    return [
+        measure_escape_rate(width, attempts_per_width, seed=seed)
+        for width in widths
+    ]
+
+
+def deployed_detection_probability(width_bits: int = 40) -> float:
+    """The paper's headline number: 1 - 2^-width for the deployed hash."""
+    return 1.0 - 2.0 ** -width_bits

@@ -1,0 +1,42 @@
+"""Analytic VLSI cost model (Table V substitute for Synopsys synthesis).
+
+* :mod:`repro.vlsi.cells` — calibrated 15nm cell constants + the
+  2400 MHz cycle computation.
+* :mod:`repro.vlsi.cost_model` — MUSE encoder/corrector costs built from
+  Booth/Wallace/ELC structure; ``PAPER_TABLE_V`` holds the published
+  numbers for comparison.
+* :mod:`repro.vlsi.rs_cost` — XOR-tree / GF-LUT costs for the RS
+  baseline.
+"""
+
+from repro.vlsi.cells import CLOCK_PERIOD_NS, NANGATE15, CellLibrary, cycles_for
+from repro.vlsi.cost_model import (
+    PAPER_GEM5_CYCLES,
+    PAPER_TABLE_V,
+    BlockCost,
+    CodeCost,
+    ConstantMultiplierCost,
+    FastModuloCost,
+    muse_code_cost,
+    muse_corrector_cost,
+    muse_encoder_cost,
+)
+from repro.vlsi.rs_cost import rs_corrector_cost, rs_encoder_cost
+
+__all__ = [
+    "BlockCost",
+    "CLOCK_PERIOD_NS",
+    "CellLibrary",
+    "CodeCost",
+    "ConstantMultiplierCost",
+    "FastModuloCost",
+    "NANGATE15",
+    "PAPER_GEM5_CYCLES",
+    "PAPER_TABLE_V",
+    "cycles_for",
+    "muse_code_cost",
+    "muse_corrector_cost",
+    "muse_encoder_cost",
+    "rs_corrector_cost",
+    "rs_encoder_cost",
+]

@@ -1,0 +1,91 @@
+"""15nm-class standard-cell constants for the analytic cost model.
+
+The paper synthesizes with Synopsys DC on the NanGate/Si2 15nm
+open-source library; we cannot run proprietary tools, so Table V is
+regenerated from *structural* circuit descriptions (partial-product
+counts, tree depths, CAM sizes) priced with the constants below.
+
+Calibration: the delay unit is chosen so that the paper's own
+structural statement — "removing one Wallace level saves three XOR
+delays", with MUSE(144,132)'s 50-partial-product tree landing at
+~1.1 ns — holds; area/power densities are fit to the same table's
+cells-to-um^2 and area-to-power ratios.  All constants live here, in one
+place, so the calibration is auditable; EXPERIMENTS.md reports the
+residual error per Table V cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CellLibrary:
+    """Delay / area / power atoms used by the cost model."""
+
+    # --- delays, nanoseconds -------------------------------------------------
+    xor2_delay: float = 0.0225  # one XOR2 stage incl. local wire
+    #: full-adder sum path = 2 XOR stages (the classic CSA cell)
+    #: (exposed as a method below)
+    cam_match_delay: float = 0.090  # ELC CAM match + priority encode
+    lut_delay: float = 0.075  # one GF log/antilog ROM lookup
+    #: carry-propagate adder: parallel-prefix, ~1.5 XOR-equivalents/level
+    cpa_level_factor: float = 1.5
+
+    # --- areas, square micrometres per cell instance -------------------------
+    nand2_area: float = 0.20  # 15nm NAND2-equivalent footprint
+    cell_area_mult: float = 0.33  # um^2 per synthesized std cell (MUSE blocks)
+    cell_area_rs: float = 0.40  # um^2 per std cell (RS blocks; ROM-heavy)
+
+    # --- cell-count equivalents ----------------------------------------------
+    fa_cells: float = 3.4  # std cells per full adder after mapping
+    booth_mux_cells: float = 0.55  # per product-column bit of one PP row
+    cpa_cells_per_bit: float = 3.0
+    #: post-optimization ELC logic per entry scales with the match width
+    #: (remainder bits) plus the output-encode fan-in (log2 n), not with
+    #: the full stored error value: synthesis collapses the value field
+    #: into shared output networks.
+    elc_cells_per_entry_factor: float = 0.60
+    adder_cells_per_bit: float = 3.0
+
+    # --- pipeline overlap ------------------------------------------------
+    #: fraction of the fast-modulo critical path that the corrector
+    #: cannot overlap with the ELC match + correction add.  The paper's
+    #: correctors come in at 0.73-1.00x of their encoders because the
+    #: CAM compares remainder bits as the final adder produces them.
+    corrector_overlap: float = 0.80
+
+    # --- power, milliwatts ---------------------------------------------------
+    #: synthesis-reported total power per cell at the paper's default
+    #: activity; separate factors per family absorb the very different
+    #: toggle profiles of Wallace trees vs XOR/LUT logic.
+    power_per_cell_muse: float = 0.000155
+    power_per_cell_rs: float = 0.0025
+
+    def fa_delay(self) -> float:
+        """Full-adder (3:2 compressor) stage delay."""
+        return 2.0 * self.xor2_delay
+
+    def cpa_delay(self, width: int) -> float:
+        """Parallel-prefix carry-propagate adder delay."""
+        if width <= 1:
+            return self.xor2_delay
+        levels = max(1, (width - 1).bit_length())
+        return self.cpa_level_factor * self.xor2_delay * levels
+
+
+#: The default library used by every Table V computation.
+NANGATE15 = CellLibrary()
+
+#: The paper's clock: 2400 MHz -> 416.7 ps per cycle (Section VII-B).
+CLOCK_PERIOD_NS = 1000.0 / 2400.0
+
+
+def cycles_for(latency_ns: float, clock_period_ns: float = CLOCK_PERIOD_NS) -> int:
+    """Pipeline stages needed at the paper's 2400 MHz memory clock."""
+    if latency_ns <= 0:
+        return 0
+    cycles = int(latency_ns / clock_period_ns)
+    if latency_ns - cycles * clock_period_ns > 1e-12:
+        cycles += 1
+    return cycles

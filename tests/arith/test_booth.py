@@ -1,0 +1,46 @@
+"""Tests for radix-4 Booth recoding — the paper's 73/23 statistic."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arith.booth import BoothEncoding, booth_digits
+from repro.arith.fastdiv import ConstantDivider
+
+
+class TestRecoding:
+    @given(value=st.integers(min_value=0, max_value=(1 << 160) - 1))
+    @settings(max_examples=300)
+    def test_digits_reconstruct_value(self, value):
+        encoding = BoothEncoding(value)
+        assert encoding.reconstruct() == value
+
+    @given(value=st.integers(min_value=0, max_value=(1 << 160) - 1))
+    @settings(max_examples=300)
+    def test_digits_in_radix4_alphabet(self, value):
+        for digit in booth_digits(value):
+            assert digit in (-2, -1, 0, 1, 2)
+
+    def test_digit_count_is_half_the_bits(self):
+        # K-bit constant -> ceil((K+1)/2) digits
+        assert len(booth_digits(0b1111)) == 3  # 4 bits (+carry digit)
+        assert len(booth_digits(1)) == 1
+        assert len(booth_digits(0)) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            booth_digits(-1)
+
+
+class TestPaperStatistic:
+    def test_muse_144_132_inverse_has_73_pp_23_zero(self):
+        """Section V-B: 'Booth Encoding of the multiplier's inverse value
+        has 73 partial products, of which 23 are equal to 0.'"""
+        inverse = ConstantDivider(4065, 144).inverse
+        encoding = BoothEncoding(inverse)
+        assert encoding.partial_products == 73
+        assert encoding.zero_partial_products == 23
+        assert encoding.nonzero_partial_products == 50
+
+    def test_zero_constant_all_zero_digits(self):
+        encoding = BoothEncoding(0)
+        assert encoding.nonzero_partial_products == 0

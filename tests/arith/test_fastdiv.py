@@ -1,0 +1,83 @@
+"""Tests for Granlund-Montgomery constant division — Table III anchors."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arith.fastdiv import (
+    PAPER_TABLE_III,
+    ConstantDivider,
+    inverse_for_shift,
+    is_exact_shift,
+    minimal_shift,
+    table_iii,
+)
+
+
+class TestTableIII:
+    """The paper's Table III, regenerated from first principles."""
+
+    def test_all_rows_match_paper(self):
+        for row in table_iii():
+            inverse, shift = PAPER_TABLE_III[row.m]
+            assert row.inverse == inverse, f"inverse mismatch for m={row.m}"
+            assert row.shift == shift, f"shift mismatch for m={row.m}"
+
+    @pytest.mark.parametrize(
+        "m,width,shift",
+        [(4065, 144, 156), (2005, 80, 87), (5621, 80, 93), (821, 80, 89)],
+    )
+    def test_shift_is_minimal(self, m, width, shift):
+        assert minimal_shift(m, width) == shift
+        assert not is_exact_shift(m, width, shift - 1)
+
+
+class TestInverse:
+    def test_inverse_is_ceiling(self):
+        assert inverse_for_shift(5, 8) == 52  # ceil(256/5) = 52
+        assert inverse_for_shift(4, 8) == 64  # exact division
+
+    def test_rejects_trivial_divisor(self):
+        with pytest.raises(ValueError):
+            inverse_for_shift(1, 8)
+
+
+class TestConstantDivider:
+    @given(x=st.integers(min_value=0, max_value=(1 << 144) - 1))
+    @settings(max_examples=300)
+    def test_divide_matches_floor_division_144(self, x):
+        divider = ConstantDivider(4065, 144)
+        assert divider.divide(x) == x // 4065
+
+    @given(
+        x=st.integers(min_value=0, max_value=(1 << 80) - 1),
+        m=st.sampled_from([2005, 5621, 821]),
+    )
+    @settings(max_examples=300)
+    def test_divide_matches_floor_division_80(self, x, m):
+        divider = ConstantDivider(m, 80)
+        assert divider.divide(x) == x // m
+
+    def test_boundary_inputs(self):
+        divider = ConstantDivider(2005, 80)
+        top = (1 << 80) - 1
+        for x in (0, 1, 2004, 2005, 2006, top - 1, top):
+            assert divider.divide(x) == x // 2005
+
+    def test_input_width_enforced(self):
+        divider = ConstantDivider(2005, 80)
+        with pytest.raises(ValueError):
+            divider.divide(1 << 80)
+        with pytest.raises(ValueError):
+            divider.divide(-1)
+
+    def test_worst_case_residues_exhaustively_for_small_divisor(self):
+        """For a small divisor, check *every* residue near the top."""
+        divider = ConstantDivider(11, 16)
+        for x in range((1 << 16) - 512, 1 << 16):
+            assert divider.divide(x) == x // 11
+        for x in range(0, 4096):
+            assert divider.divide(x) == x // 11
+
+    def test_inverse_bits_reported(self):
+        divider = ConstantDivider(4065, 144)
+        assert divider.inverse_bits == divider.inverse.bit_length()

@@ -1,0 +1,54 @@
+"""Tests for the Lemire direct-remainder circuit model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arith.fastmod import LemireModulo
+
+
+class TestRemainder:
+    @given(x=st.integers(min_value=0, max_value=(1 << 144) - 1))
+    @settings(max_examples=300)
+    def test_matches_python_mod_144(self, x):
+        unit = LemireModulo(4065, 144)
+        assert unit.remainder(x) == x % 4065
+
+    @given(
+        x=st.integers(min_value=0, max_value=(1 << 80) - 1),
+        m=st.sampled_from([2005, 5621, 821]),
+    )
+    @settings(max_examples=300)
+    def test_matches_python_mod_80(self, x, m):
+        unit = LemireModulo(m, 80)
+        assert unit.remainder(x) == x % m
+
+    def test_naive_path_agrees(self):
+        """Eq. 7 (mul + mul + sub) and Fig. 5b (mul + mul) must agree."""
+        unit = LemireModulo(2005, 80)
+        for x in (0, 1, 2004, 2005, 123456789, (1 << 80) - 1):
+            assert unit.remainder(x) == unit.remainder_naive(x)
+
+    def test_clean_codewords_have_zero_remainder(self):
+        from repro.core.codes import muse_144_132
+
+        code = muse_144_132()
+        unit = LemireModulo(code.m, code.n)
+        codeword = code.encode(0xFEEDFACEFEEDFACE)
+        assert unit.remainder(codeword) == 0
+
+    def test_exhaustive_small_case(self):
+        unit = LemireModulo(13, 16)
+        for x in range(1 << 16):
+            assert unit.remainder(x) == x % 13
+
+
+class TestStructure:
+    def test_second_multiplier_is_much_smaller(self):
+        """The paper's point: the second multiply is by m itself."""
+        unit = LemireModulo(4065, 144)
+        assert unit.second_multiplier_constant_bits == 12
+        assert unit.first_multiplier_constant_bits > 140
+
+    def test_fractional_width_is_shift(self):
+        unit = LemireModulo(2005, 80)
+        assert unit.fractional_width == 87

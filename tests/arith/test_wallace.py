@@ -1,0 +1,60 @@
+"""Tests for the Wallace-tree structural model."""
+
+import pytest
+
+from repro.arith.wallace import (
+    WallaceTree,
+    compressor_count,
+    next_layer_rows,
+    reduction_depth,
+)
+
+
+class TestReduction:
+    def test_layer_arithmetic(self):
+        # 3 rows -> 2 rows, 4 -> 3, 6 -> 4, 9 -> 6
+        assert next_layer_rows(3) == 2
+        assert next_layer_rows(4) == 3
+        assert next_layer_rows(6) == 4
+        assert next_layer_rows(9) == 6
+
+    def test_depth_of_classic_sequence(self):
+        """Dadda/Wallace capacity sequence: depth d handles up to
+        2, 3, 4, 6, 9, 13, 19, 28, 42, 63, 94 rows."""
+        capacities = [2, 3, 4, 6, 9, 13, 19, 28, 42, 63, 94]
+        for depth, cap in enumerate(capacities):
+            assert reduction_depth(cap) == depth
+            if depth > 0:
+                assert reduction_depth(cap + 1) == depth + 1
+
+    def test_trivial_rows_need_no_tree(self):
+        assert reduction_depth(0) == 0
+        assert reduction_depth(1) == 0
+        assert reduction_depth(2) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            next_layer_rows(-1)
+
+
+class TestPaperOptimization:
+    def test_removing_23_zero_rows_saves_one_level(self):
+        """Section V-B: dropping 73 -> 50 partial products removes one
+        Wallace level (three XOR delays)."""
+        assert reduction_depth(73) - reduction_depth(50) == 1
+
+
+class TestCosts:
+    def test_compressor_count_scales_with_width(self):
+        narrow = compressor_count(16, 64)
+        wide = compressor_count(16, 128)
+        assert wide == 2 * narrow
+
+    def test_tree_dataclass(self):
+        tree = WallaceTree(rows=50, width=144)
+        assert tree.depth == reduction_depth(50)
+        assert tree.full_adders == compressor_count(50, 144)
+        assert tree.final_adder_width == 144
+
+    def test_no_adders_for_two_rows(self):
+        assert compressor_count(2, 64) == 0

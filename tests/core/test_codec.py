@@ -1,0 +1,267 @@
+"""Codec tests: the Figure-4 decision flow, exhaustively and by property."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.codec import DecodeStatus, DetectionReason, MuseCode
+from repro.core.codes import (
+    muse_80_67,
+    muse_80_69,
+    muse_80_70,
+    muse_144_132,
+)
+from repro.core.error_model import ErrorDirection, SymbolErrorModel
+from repro.core.symbols import SymbolLayout
+
+
+def small_code() -> MuseCode:
+    """A fast 16-bit C4B code for exhaustive loops (m found by search)."""
+    layout = SymbolLayout.sequential(16, 4)
+    model = SymbolErrorModel(layout)
+    # smallest feasible redundancy for this toy model, via the real search
+    from repro.core.search import smallest_feasible_redundancy
+
+    result = smallest_feasible_redundancy(model, r_min=8, r_max=12)
+    assert result is not None
+    return MuseCode(layout, result.multipliers[0], model, name="toy(16)")
+
+
+class TestEncode:
+    def test_codeword_width(self):
+        code = muse_144_132()
+        codeword = code.encode((1 << 132) - 1)
+        assert codeword.bit_length() <= 144
+
+    def test_encode_rejects_oversized_data(self):
+        code = muse_80_69()
+        with pytest.raises(ValueError):
+            code.encode(1 << 69)
+        with pytest.raises(ValueError):
+            code.encode(-1)
+
+    def test_codeword_is_divisible_by_m(self):
+        code = muse_80_69()
+        assert code.encode(0xFEEDFACE) % code.m == 0
+
+    def test_data_field_is_separable(self):
+        code = muse_80_69()
+        data = 0x1F00BA4BEEF
+        assert code.encode(data) >> code.r == data
+
+
+class TestCleanDecode:
+    @given(data=st.integers(min_value=0, max_value=(1 << 132) - 1))
+    @settings(max_examples=50)
+    def test_roundtrip_144_132(self, data):
+        code = muse_144_132()
+        result = code.decode(code.encode(data))
+        assert result.status is DecodeStatus.CLEAN
+        assert result.data == data
+
+    def test_all_registry_codes_roundtrip(self):
+        for code in (muse_144_132(), muse_80_69(), muse_80_67(), muse_80_70()):
+            data = (1 << code.k) - 1
+            result = code.decode(code.encode(data))
+            assert result.status is DecodeStatus.CLEAN
+            assert result.data == data
+
+
+class TestSingleSymbolCorrection:
+    """Every correctable error pattern must be corrected, exactly."""
+
+    def test_exhaustive_toy_code(self):
+        """Every (data, symbol, pattern) for a 16-bit code — full sweep."""
+        code = small_code()
+        rng = random.Random(7)
+        datas = [rng.randrange(1 << code.k) for _ in range(8)]
+        for data in datas:
+            codeword = code.encode(data)
+            for index in range(code.layout.symbol_count):
+                original = code.layout.extract_symbol(codeword, index)
+                for corrupted_value in range(16):
+                    if corrupted_value == original:
+                        continue
+                    bad = code.layout.insert_symbol(codeword, index, corrupted_value)
+                    result = code.decode(bad)
+                    assert result.status is DecodeStatus.CORRECTED
+                    assert result.data == data
+                    assert result.codeword == codeword
+
+    @given(
+        data=st.integers(min_value=0, max_value=(1 << 132) - 1),
+        symbol=st.integers(min_value=0, max_value=35),
+        pattern=st.integers(min_value=1, max_value=15),
+    )
+    @settings(max_examples=100)
+    def test_muse_144_132_corrects_any_device_corruption(
+        self, data, symbol, pattern
+    ):
+        """ChipKill property: arbitrary corruption of one x4 device."""
+        code = muse_144_132()
+        codeword = code.encode(data)
+        original = code.layout.extract_symbol(codeword, symbol)
+        bad = code.layout.insert_symbol(codeword, symbol, original ^ pattern)
+        result = code.decode(bad)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+
+    @given(
+        data=st.integers(min_value=0, max_value=(1 << 67) - 1),
+        symbol=st.integers(min_value=0, max_value=9),
+        # asymmetric: clear some subset of the symbol's set bits
+        clear_mask=st.integers(min_value=1, max_value=255),
+    )
+    @settings(max_examples=100)
+    def test_muse_80_67_corrects_retention_errors(self, data, symbol, clear_mask):
+        """C8A: any 1->0 multi-bit pattern inside one shuffled device."""
+        code = muse_80_67()
+        codeword = code.encode(data)
+        original = code.layout.extract_symbol(codeword, symbol)
+        corrupted = original & ~clear_mask
+        if corrupted == original:
+            return  # nothing flipped; not an error
+        bad = code.layout.insert_symbol(codeword, symbol, corrupted)
+        result = code.decode(bad)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+
+    @given(
+        data=st.integers(min_value=0, max_value=(1 << 70) - 1),
+        bit=st.integers(min_value=0, max_value=79),
+    )
+    @settings(max_examples=100)
+    def test_muse_80_70_corrects_any_single_bit_flip(self, data, bit):
+        """Hybrid code's U1B half: any bidirectional single-bit error."""
+        code = muse_80_70()
+        codeword = code.encode(data)
+        bad = codeword ^ (1 << bit)
+        result = code.decode(bad)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+
+    @given(
+        data=st.integers(min_value=0, max_value=(1 << 70) - 1),
+        symbol=st.integers(min_value=0, max_value=19),
+        clear_mask=st.integers(min_value=1, max_value=15),
+    )
+    @settings(max_examples=100)
+    def test_muse_80_70_corrects_asymmetric_symbol_errors(
+        self, data, symbol, clear_mask
+    ):
+        """Hybrid code's C4A half: 1->0 symbol errors."""
+        code = muse_80_70()
+        codeword = code.encode(data)
+        original = code.layout.extract_symbol(codeword, symbol)
+        corrupted = original & ~clear_mask
+        if corrupted == original:
+            return
+        bad = code.layout.insert_symbol(codeword, symbol, corrupted)
+        result = code.decode(bad)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+
+
+class TestDetection:
+    def test_multi_symbol_error_never_silently_wrong(self):
+        """A detected or corrected result, never a wrong CLEAN, and any
+        CORRECTED result for a 2-symbol error must be flagged by the
+        Monte-Carlo as a miscorrection — here we only require the codec
+        never claims CLEAN."""
+        code = muse_80_69()
+        rng = random.Random(21)
+        for _ in range(200):
+            data = rng.randrange(1 << code.k)
+            codeword = code.encode(data)
+            s1, s2 = rng.sample(range(code.layout.symbol_count), 2)
+            bad = codeword
+            for index in (s1, s2):
+                original = code.layout.extract_symbol(bad, index)
+                corrupted = rng.randrange(16)
+                while corrupted == original:
+                    corrupted = rng.randrange(16)
+                bad = code.layout.insert_symbol(bad, index, corrupted)
+            result = code.decode(bad)
+            if result.status is DecodeStatus.CLEAN:
+                pytest.fail("two-symbol error decoded as CLEAN")
+
+    def test_remainder_not_found_reason(self):
+        code = muse_80_69()
+        model_values = {v % code.m for v in code.model.error_values()}
+        unused = next(r for r in range(1, code.m) if r not in model_values)
+        codeword = code.encode(123456)
+        bad = codeword + unused  # error value == unused remainder
+        result = code.decode(bad)
+        assert result.status is DecodeStatus.DETECTED
+        assert result.reason is DetectionReason.REMAINDER_NOT_FOUND
+
+    def test_ripple_detection_exists_in_practice(self):
+        """Some multi-symbol errors must be caught by the overflow check
+        (not just by ELC miss) — this is the paper's second detector."""
+        code = muse_80_69()
+        rng = random.Random(5)
+        ripple_detections = 0
+        for _ in range(2000):
+            data = rng.randrange(1 << code.k)
+            codeword = code.encode(data)
+            bad = codeword
+            for index in rng.sample(range(code.layout.symbol_count), 2):
+                original = code.layout.extract_symbol(bad, index)
+                corrupted = rng.randrange(16)
+                while corrupted == original:
+                    corrupted = rng.randrange(16)
+                bad = code.layout.insert_symbol(bad, index, corrupted)
+            result = code.decode(bad)
+            if (
+                result.status is DecodeStatus.DETECTED
+                and result.reason is DetectionReason.SYMBOL_OVERFLOW
+            ):
+                ripple_detections += 1
+        assert ripple_detections > 0
+
+    def test_ripple_ablation_detects_less(self):
+        """decode_without_ripple_check must miscorrect a superset."""
+        code = muse_80_69()
+        rng = random.Random(11)
+        full, ablated = 0, 0
+        for _ in range(1000):
+            data = rng.randrange(1 << code.k)
+            codeword = code.encode(data)
+            bad = codeword
+            for index in rng.sample(range(code.layout.symbol_count), 2):
+                original = code.layout.extract_symbol(bad, index)
+                corrupted = rng.randrange(16)
+                while corrupted == original:
+                    corrupted = rng.randrange(16)
+                bad = code.layout.insert_symbol(bad, index, corrupted)
+            if code.decode(bad).status is DecodeStatus.DETECTED:
+                full += 1
+            if code.decode_without_ripple_check(bad).status is DecodeStatus.DETECTED:
+                ablated += 1
+        assert full > ablated
+
+
+class TestSpareBits:
+    def test_paper_spare_bit_claims(self):
+        """Section VI-A: MUSE(80,69) leaves 5 bits over a 64-bit payload;
+        Section IV: MUSE(80,67) leaves 3; MUSE(80,70) leaves 6."""
+        assert muse_80_69().spare_bits(64) == 5
+        assert muse_80_67().spare_bits(64) == 3
+        assert muse_80_70().spare_bits(64) == 6
+        assert muse_144_132().spare_bits(128) == 4
+
+    def test_spare_bits_rejects_oversized_payload(self):
+        with pytest.raises(ValueError):
+            muse_80_69().spare_bits(70)
+
+
+class TestConstructionGuards:
+    def test_multiplier_too_big_for_codeword(self):
+        layout = SymbolLayout.sequential(8, 4)
+        with pytest.raises(ValueError):
+            # r would be 13 > n = 8
+            MuseCode(layout, 5621)
+
+    def test_repr_mentions_geometry(self):
+        assert "36x4b" in repr(muse_144_132())

@@ -1,0 +1,50 @@
+"""Registry tests: Table I parameters are internally consistent."""
+
+import pytest
+
+from repro.core.codes import (
+    ALL_BUILDERS,
+    EXTENDED,
+    TABLE_I,
+    get_code,
+)
+
+
+class TestTableI:
+    def test_table_i_has_four_codes(self):
+        assert len(TABLE_I) == 4
+
+    @pytest.mark.parametrize("spec", TABLE_I, ids=lambda s: s.name)
+    def test_spec_matches_paper(self, spec):
+        published = {
+            "MUSE(144,132)": (4065, "C4B", "none"),
+            "MUSE(80,69)": (2005, "C4B", "none"),
+            "MUSE(80,67)": (5621, "C8A", "eq5"),
+            "MUSE(80,70)": (821, "C4A_U1B", "eq6"),
+        }
+        m, error_class, shuffle = published[spec.name]
+        assert spec.m == m
+        assert spec.error_class == error_class
+        assert spec.shuffle == shuffle
+
+    @pytest.mark.parametrize("spec", EXTENDED, ids=lambda s: s.name)
+    def test_construction_consistency(self, spec):
+        """Building a code re-verifies multiplier validity (via the ELC)
+        and the (n, k) arithmetic."""
+        code = get_code(spec.name)
+        assert code.n == spec.n
+        assert code.k == spec.k
+        assert code.m == spec.m
+        assert code.r == spec.n - spec.k
+
+    def test_unknown_name_raises_with_listing(self):
+        with pytest.raises(KeyError, match="MUSE\\(144,132\\)"):
+            get_code("MUSE(1,1)")
+
+    def test_builders_cover_registry(self):
+        assert set(ALL_BUILDERS) == {spec.name for spec in EXTENDED}
+        for name, builder in ALL_BUILDERS.items():
+            assert builder().name == name
+
+    def test_get_code_is_cached(self):
+        assert get_code("MUSE(80,69)") is get_code("MUSE(80,69)")

@@ -1,0 +1,78 @@
+"""Unit tests for the Error Lookup Circuit model."""
+
+import pytest
+
+from repro.core.elc import ErrorLookupCircuit
+from repro.core.error_model import ErrorDirection, SymbolErrorModel
+from repro.core.symbols import SymbolLayout
+
+
+def c4b_model(n: int) -> SymbolErrorModel:
+    return SymbolErrorModel(SymbolLayout.sequential(n, 4))
+
+
+class TestConstruction:
+    def test_paper_elc_dimensions_144_132(self):
+        """Section V: 1080 entries, 157 bits each (12 + 144 + 1)."""
+        elc = ErrorLookupCircuit(c4b_model(144), 4065)
+        assert elc.entry_count == 1080
+        assert elc.remainder_bits == 12
+        assert elc.entry_width_bits == 157
+
+    def test_invalid_multiplier_rejected_on_collision(self):
+        # 4097 is not in the Appendix F list for the 144-bit search, and
+        # it is small enough to collide.
+        with pytest.raises(ValueError, match="same remainder|remainder 0"):
+            ErrorLookupCircuit(c4b_model(144), 2049)
+
+    def test_zero_remainder_rejected(self):
+        # m dividing some error value: 2^4-1=15 divides error value 15.
+        with pytest.raises(ValueError, match="remainder 0"):
+            ErrorLookupCircuit(c4b_model(8), 15)
+
+
+class TestLookup:
+    def test_every_error_value_is_found_and_signed(self):
+        model = c4b_model(80)
+        elc = ErrorLookupCircuit(model, 2005)
+        for value in model.error_values():
+            entry = elc.lookup(value % 2005)
+            assert entry is not None
+            assert entry.error_value == value
+
+    def test_unused_remainder_misses(self):
+        model = c4b_model(80)
+        elc = ErrorLookupCircuit(model, 2005)
+        used = {value % 2005 for value in model.error_values()}
+        unused = next(r for r in range(1, 2005) if r not in used)
+        assert elc.lookup(unused) is None
+        assert unused not in elc
+
+    def test_len_and_contains(self):
+        model = c4b_model(80)
+        elc = ErrorLookupCircuit(model, 2005)
+        assert len(elc) == 600
+        some_value = next(iter(model.error_values()))
+        assert some_value % 2005 in elc
+
+
+class TestDetectionHeadroom:
+    def test_unused_remainders_counts(self):
+        elc = ErrorLookupCircuit(c4b_model(144), 4065)
+        assert elc.unused_remainders == 4065 - 1 - 1080
+
+    def test_larger_multiplier_buys_more_headroom(self):
+        """Section VII-A: 65519 vs 4065 trades spare bits for detection."""
+        small = ErrorLookupCircuit(c4b_model(144), 4065)
+        large = ErrorLookupCircuit(c4b_model(144), 65519)
+        assert large.entry_count == small.entry_count == 1080
+        assert large.unused_remainders > small.unused_remainders
+        assert large.coverage_ratio() < small.coverage_ratio()
+
+    def test_asymmetric_code_elc(self):
+        model = SymbolErrorModel(SymbolLayout.eq5(), ErrorDirection.ONE_TO_ZERO)
+        elc = ErrorLookupCircuit(model, 5621)
+        assert elc.entry_count == 2550
+        # All stored corrections are negative values (1->0 flips).
+        for value in model.error_values():
+            assert elc.lookup(value % 5621).sign == -1

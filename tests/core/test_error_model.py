@@ -1,0 +1,177 @@
+"""Unit tests for repro.core.error_model (error-value enumeration)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.error_model import (
+    ErrorDirection,
+    HybridErrorModel,
+    SingleBitErrorModel,
+    SymbolErrorModel,
+    hybrid_c4a_u1b,
+    positive_error_value_histogram,
+    symbol_error_values,
+)
+from repro.core.symbols import SymbolLayout
+
+
+class TestSymbolErrorValues:
+    def test_sequential_4bit_symbol_has_30_values(self):
+        """Section III-A: 2*(2^s - 1) distinct values for contiguous bits."""
+        values = symbol_error_values((0, 1, 2, 3))
+        assert len(values) == 30
+        assert values == frozenset(v for v in range(-15, 16) if v)
+
+    def test_shuffled_symbol_has_3_pow_s_minus_1_values(self):
+        """Section III-B: shuffling expands to 3^s - 1 values."""
+        # Figure 1a example: bits b0 and b3 -> 8 values +-1, +-7, +-8, +-9.
+        values = symbol_error_values((0, 3))
+        assert len(values) == 3**2 - 1
+        assert values == frozenset({1, -1, 7, -7, 8, -8, 9, -9})
+
+    def test_figure_1a_sequential_symbol_values(self):
+        """Figure 1a: bits b0, b1 -> six values +-1, +-2, +-3."""
+        values = symbol_error_values((0, 1))
+        assert values == frozenset({1, -1, 2, -2, 3, -3})
+
+    def test_asymmetric_values_are_all_negative(self):
+        values = symbol_error_values((0, 1, 2, 3), ErrorDirection.ONE_TO_ZERO)
+        assert len(values) == 15
+        assert all(v < 0 for v in values)
+        assert values == frozenset(-v for v in range(1, 16))
+
+    def test_zero_to_one_values_are_all_positive(self):
+        values = symbol_error_values((4, 5), ErrorDirection.ZERO_TO_ONE)
+        assert values == frozenset({16, 32, 48})
+
+    def test_offset_scales_values(self):
+        base = symbol_error_values((0, 1, 2, 3))
+        shifted = symbol_error_values((4, 5, 6, 7))
+        assert shifted == frozenset(v << 4 for v in base)
+
+
+class TestSymbolErrorModel:
+    def test_muse_144_132_needs_1080_remainders(self):
+        """The paper's ELC for MUSE(144,132) has 1080 entries."""
+        layout = SymbolLayout.sequential(144, 4)
+        model = SymbolErrorModel(layout)
+        assert model.required_remainders == 1080
+
+    def test_muse_80_69_needs_600_remainders(self):
+        layout = SymbolLayout.sequential(80, 4)
+        assert SymbolErrorModel(layout).required_remainders == 600
+
+    def test_eq5_asymmetric_needs_2550_remainders(self):
+        model = SymbolErrorModel(SymbolLayout.eq5(), ErrorDirection.ONE_TO_ZERO)
+        assert model.required_remainders == 10 * 255 == 2550
+
+    def test_sequential_symbols_have_disjoint_value_ranges(self):
+        layout = SymbolLayout.sequential(16, 4)
+        model = SymbolErrorModel(layout)
+        seen: set[int] = set()
+        for values in model.per_symbol_values:
+            assert not (seen & values)
+            seen |= values
+
+    def test_iter_symbol_errors_covers_all_values(self):
+        layout = SymbolLayout.sequential(16, 4)
+        model = SymbolErrorModel(layout)
+        collected = {value for _, value in model.iter_symbol_errors()}
+        assert collected == model.error_values()
+
+    def test_describe_uses_paper_naming(self):
+        model = SymbolErrorModel(SymbolLayout.eq5(), ErrorDirection.ONE_TO_ZERO)
+        assert model.describe().startswith("C8A")
+
+
+class TestSingleBitModel:
+    def test_bidirectional_has_two_values_per_bit(self):
+        model = SingleBitErrorModel(8)
+        assert model.required_remainders == 16
+        assert model.error_values() == frozenset(
+            s << b for b in range(8) for s in (1, -1)
+        )
+
+    def test_asymmetric_single_bit(self):
+        model = SingleBitErrorModel(4, ErrorDirection.ONE_TO_ZERO)
+        assert model.error_values() == frozenset({-1, -2, -4, -8})
+
+
+class TestHybridModel:
+    def test_c4a_u1b_matches_paper_count(self):
+        """MUSE(80,70): 20 symbols x 15 asym values + 80 positive bit values.
+
+        The negative single-bit values are already subsets of the
+        asymmetric symbol values, so the union has 300 + 80 = 380.
+        """
+        model = hybrid_c4a_u1b(SymbolLayout.eq6())
+        assert model.required_remainders == 380
+
+    def test_mismatched_widths_rejected(self):
+        with pytest.raises(ValueError, match="disagree"):
+            HybridErrorModel(
+                (SingleBitErrorModel(8), SingleBitErrorModel(16))
+            )
+
+    def test_union_semantics(self):
+        layout = SymbolLayout.sequential(8, 4)
+        hybrid = HybridErrorModel(
+            (
+                SymbolErrorModel(layout, ErrorDirection.ONE_TO_ZERO),
+                SingleBitErrorModel(8, ErrorDirection.BIDIRECTIONAL),
+            )
+        )
+        expected = (
+            SymbolErrorModel(layout, ErrorDirection.ONE_TO_ZERO).error_values()
+            | SingleBitErrorModel(8).error_values()
+        )
+        assert hybrid.error_values() == expected
+
+
+class TestHistogram:
+    def test_histogram_counts_positive_values_only(self):
+        model = SymbolErrorModel(SymbolLayout.sequential(8, 4))
+        histogram = positive_error_value_histogram(model)
+        total = sum(histogram.values())
+        positives = sum(1 for v in model.error_values() if v > 0)
+        assert total == positives
+
+    def test_shuffle_spreads_the_histogram(self):
+        """Figure 1(b): shuffling yields more values, spread more evenly."""
+        sequential = SymbolErrorModel(SymbolLayout.sequential(80, 4))
+        shuffled = SymbolErrorModel(SymbolLayout.eq6())
+        seq_hist = positive_error_value_histogram(sequential)
+        shuf_hist = positive_error_value_histogram(shuffled)
+        assert sum(shuf_hist.values()) > sum(seq_hist.values())
+        # Shuffled layout populates more distinct log2 bins.
+        assert len(shuf_hist) >= len(seq_hist)
+
+
+class TestValueRealizability:
+    """Every enumerated error value must be realizable by actual bit flips."""
+
+    @given(st.data())
+    def test_bidirectional_values_realizable(self, data):
+        layout = SymbolLayout.sequential(16, 4)
+        model = SymbolErrorModel(layout)
+        value = data.draw(st.sampled_from(sorted(model.error_values())))
+        # Find a word w and symbol value change producing this difference.
+        index = data.draw(st.integers(min_value=0, max_value=3))
+        values = model.per_symbol_values[index]
+        if value not in values:
+            # value belongs to some other symbol; locate it
+            index = next(
+                i for i, vals in enumerate(model.per_symbol_values) if value in vals
+            )
+        # Realize: pick original symbol bits so each -1 flip has a 1 and
+        # each +1 flip has a 0.
+        positions = layout.symbols[index]
+        shift = positions[0]
+        local = value >> shift if value > 0 else -((-value) >> shift)
+        assert local << shift == value  # sequential symbols: clean shift
+        original = 0b1111 if local < 0 else 0
+        corrupted = original + local
+        assert 0 <= corrupted <= 15
+        word = layout.insert_symbol(0, index, original)
+        word_bad = layout.insert_symbol(0, index, corrupted)
+        assert word_bad - word == value

@@ -1,0 +1,49 @@
+"""Tests for the P-S-T error-class naming convention parser."""
+
+import pytest
+
+from repro.core.naming import ErrorClass, ErrorClassName, format_terms, parse
+
+
+class TestParse:
+    def test_c4b(self):
+        name = parse("C4B")
+        assert not name.is_hybrid
+        term = name.terms[0]
+        assert term.constrained and term.size == 4 and term.bidirectional
+
+    def test_c8a(self):
+        term = parse("C8A").terms[0]
+        assert term.constrained and term.size == 8 and not term.bidirectional
+
+    def test_hybrid_c4a_u1b(self):
+        name = parse("C4A_U1B")
+        assert name.is_hybrid
+        first, second = name.terms
+        assert str(first) == "C4A" and first.is_symbol_class
+        assert str(second) == "U1B" and not second.constrained
+        assert not second.is_symbol_class
+
+    def test_multi_digit_size(self):
+        assert parse("U16B").terms[0].size == 16
+
+    @pytest.mark.parametrize("bad", ["", "X4B", "C4X", "4B", "CB", "C4B_", "c4b"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse(bad)
+
+
+class TestFormat:
+    def test_roundtrip(self):
+        for text in ("C4B", "C8A", "C4A_U1B", "U1B"):
+            assert str(parse(text)) == text
+
+    def test_format_terms(self):
+        terms = (
+            ErrorClass(constrained=True, size=4, bidirectional=False),
+            ErrorClass(constrained=False, size=1, bidirectional=True),
+        )
+        assert format_terms(*terms) == "C4A_U1B"
+
+    def test_str_of_name(self):
+        assert str(ErrorClassName(parse("C4B").terms)) == "C4B"

@@ -1,0 +1,138 @@
+"""Unit tests for repro.core.residue (Eqs. 1-4, Table II)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.residue import (
+    ResidueParameters,
+    an_decode,
+    an_encode,
+    an_is_codeword,
+    an_remainder,
+    check_bits,
+    redundancy_bits,
+    systematic_check_field,
+    systematic_data,
+    systematic_encode,
+    systematic_remainder,
+)
+
+
+class TestRedundancyBits:
+    def test_paper_multipliers(self):
+        """Table II: r = ceil(log2 m) for every Table I / III multiplier."""
+        assert redundancy_bits(4065) == 12
+        assert redundancy_bits(2005) == 11
+        assert redundancy_bits(5621) == 13
+        assert redundancy_bits(821) == 10
+        assert redundancy_bits(65519) == 16
+        assert redundancy_bits(3621) == 12
+
+    def test_rejects_trivial_multiplier(self):
+        with pytest.raises(ValueError):
+            redundancy_bits(1)
+
+
+class TestANCode:
+    def test_encode_is_multiplication(self):
+        assert an_encode(7, 3) == 21
+
+    def test_clean_codeword_has_zero_remainder(self):
+        assert an_remainder(an_encode(123456, 4065), 4065) == 0
+
+    def test_decode_roundtrip(self):
+        data, remainder = an_decode(an_encode(99, 2005), 2005)
+        assert (data, remainder) == (99, 0)
+
+    def test_corrupted_codeword_has_nonzero_remainder(self):
+        codeword = an_encode(99, 2005) + 4  # bit-2 flip 0->1
+        _, remainder = an_decode(codeword, 2005)
+        assert remainder == 4 % 2005
+
+    def test_is_codeword(self):
+        assert an_is_codeword(4065 * 5, 4065)
+        assert not an_is_codeword(4065 * 5 + 1, 4065)
+        assert not an_is_codeword(-4065, 4065)
+
+    def test_negative_data_rejected(self):
+        with pytest.raises(ValueError):
+            an_encode(-1, 3)
+
+    @given(
+        data=st.integers(min_value=0, max_value=(1 << 64) - 1),
+        m=st.sampled_from([4065, 2005, 5621, 821, 3621]),
+    )
+    def test_an_homomorphism_under_addition(self, data, m):
+        """The AN-code property the paper leverages for PIM:
+        e(x) + e(y) == e(x + y)."""
+        other = (data * 7919 + 13) & ((1 << 64) - 1)
+        assert an_encode(data, m) + an_encode(other, m) == an_encode(
+            data + other, m
+        )
+
+
+class TestSystematic:
+    def test_check_bits_make_codeword_divisible(self):
+        for data in (0, 1, 0xFFFF, 0xDEADBEEF):
+            codeword = systematic_encode(data, 4065)
+            assert codeword % 4065 == 0
+
+    def test_check_value_fits_in_r_bits(self):
+        for data in range(0, 4096, 37):
+            x = check_bits(data, 2005)
+            assert 0 <= x < 2005
+
+    def test_data_separable_without_division(self):
+        """Eq. 4 / Figure 3a: data recovery is a shift, no arithmetic."""
+        data = 0xCAFED00D
+        codeword = systematic_encode(data, 4065)
+        assert systematic_data(codeword, 12) == data
+
+    def test_check_field_extraction(self):
+        data = 12345
+        r = redundancy_bits(2005)
+        codeword = systematic_encode(data, 2005)
+        assert systematic_check_field(codeword, r) == check_bits(data, 2005)
+
+    def test_error_shifts_remainder_by_error_value(self):
+        """The residue fingerprint: remainder == error value mod m."""
+        data = 0x123456789
+        m = 4065
+        codeword = systematic_encode(data, m)
+        for error in (1, -1, 1 << 40, -(1 << 40), 0b101 << 8):
+            corrupted = codeword + error
+            assert systematic_remainder(corrupted, m) == error % m
+
+    @given(
+        data=st.integers(min_value=0, max_value=(1 << 132) - 1),
+        m=st.sampled_from([4065, 2005, 5621, 821]),
+    )
+    def test_encode_decode_roundtrip(self, data, m):
+        r = redundancy_bits(m)
+        codeword = systematic_encode(data, m, r)
+        assert codeword % m == 0
+        assert systematic_data(codeword, r) == data
+
+
+class TestResidueParameters:
+    def test_muse_144_132_shape(self):
+        params = ResidueParameters(n=144, m=4065)
+        assert params.r == 12
+        assert params.k == 132
+
+    def test_encode_checks_width(self):
+        params = ResidueParameters(n=80, m=2005)
+        with pytest.raises(ValueError, match="does not fit"):
+            params.encode(1 << 69)
+
+    def test_is_clean(self):
+        params = ResidueParameters(n=80, m=2005)
+        codeword = params.encode(0xABCDEF)
+        assert params.is_clean(codeword)
+        assert not params.is_clean(codeword + 1)
+        assert not params.is_clean(codeword + (1 << 80))
+
+    @given(data=st.integers(min_value=0, max_value=(1 << 69) - 1))
+    def test_roundtrip(self, data):
+        params = ResidueParameters(n=80, m=2005)
+        assert params.data(params.encode(data)) == data

@@ -1,0 +1,151 @@
+"""Algorithm-1 search tests: exact reproduction of the paper's Appendix F.
+
+These are the reproduction's anchor assertions: every multiplier list
+the paper publishes must come out of our search *exactly*.
+"""
+
+import pytest
+
+from repro.core.error_model import (
+    ErrorDirection,
+    SingleBitErrorModel,
+    SymbolErrorModel,
+    hybrid_c4a_u1b,
+)
+from repro.core.search import (
+    MultiplierSearch,
+    candidate_multipliers,
+    find_multipliers,
+    is_valid_multiplier,
+    largest_multiplier,
+    smallest_feasible_redundancy,
+)
+from repro.core.symbols import SymbolLayout
+
+# Appendix F, verbatim.
+APPENDIX_F_144_12 = (
+    2397, 2883, 2967, 3009, 3259, 3295, 3371, 3417, 3431, 3459, 3469,
+    3505, 3523, 3531, 3551, 3555, 3621, 3679, 3739, 3857, 3909, 3995,
+    4017, 4043, 4065,
+)
+APPENDIX_F_80_11 = (1491, 1721, 1763, 1833, 1875, 1899, 1955, 2005)
+
+
+class TestCandidateRange:
+    def test_candidates_are_odd_r_bit_numbers(self):
+        candidates = list(candidate_multipliers(4))
+        assert candidates == [9, 11, 13, 15]
+        assert all(c.bit_length() == 4 for c in candidates)
+
+    def test_rejects_tiny_redundancy(self):
+        with pytest.raises(ValueError):
+            candidate_multipliers(1)
+
+
+class TestValidity:
+    def test_collision_rejected(self):
+        # values 1 and 4 collide mod 3
+        assert not is_valid_multiplier(3, [1, 4])
+
+    def test_zero_remainder_rejected(self):
+        assert not is_valid_multiplier(5, [5])
+
+    def test_accepts_separating_multiplier(self):
+        assert is_valid_multiplier(7, [1, 2, 3])
+
+
+class TestAppendixF:
+    """Exact-list reproduction of all four published searches."""
+
+    def test_muse_144_132_full_list(self):
+        model = SymbolErrorModel(SymbolLayout.sequential(144, 4))
+        result = find_multipliers(model, r=12)
+        assert result.required_remainders == 1080
+        assert result.multipliers == APPENDIX_F_144_12
+        assert result.largest == 4065  # Table I's pick
+
+    def test_muse_80_69_full_list(self):
+        model = SymbolErrorModel(SymbolLayout.sequential(80, 4))
+        result = find_multipliers(model, r=11)
+        assert result.required_remainders == 600
+        assert result.multipliers == APPENDIX_F_80_11
+        assert result.largest == 2005  # Table I's pick
+
+    def test_muse_80_67_shuffled_asymmetric(self):
+        model = SymbolErrorModel(SymbolLayout.eq5(), ErrorDirection.ONE_TO_ZERO)
+        result = find_multipliers(model, r=13)
+        assert result.required_remainders == 2550
+        assert result.multipliers == (5621,)
+
+    def test_muse_80_70_hybrid(self):
+        result = find_multipliers(hybrid_c4a_u1b(SymbolLayout.eq6()), r=10)
+        assert result.required_remainders == 380
+        assert result.multipliers == (821,)
+
+
+class TestAppendixG:
+    def test_muse_80_67_without_shuffle_finds_nothing(self):
+        """Appendix G: the '-s 0' configuration yields no multipliers."""
+        model = SymbolErrorModel(
+            SymbolLayout.sequential(80, 8), ErrorDirection.ONE_TO_ZERO
+        )
+        result = find_multipliers(model, r=13)
+        assert not result.found
+
+    @pytest.mark.slow
+    def test_muse_80_67_without_shuffle_no_16bit_or_less(self):
+        """Section IV: 'sequential assignment yields no multipliers of
+        16 bits or less' for the C8A model."""
+        model = SymbolErrorModel(
+            SymbolLayout.sequential(80, 8), ErrorDirection.ONE_TO_ZERO
+        )
+        for r in range(12, 17):
+            assert not MultiplierSearch(model, r).run(stop_after=1).found
+
+
+class TestSectionClaims:
+    def test_pim_multiplier_3621_valid_for_268_bits(self):
+        """Section VI-B: MUSE(268,256) with m=3621."""
+        model = SymbolErrorModel(SymbolLayout.sequential(268, 4))
+        assert model.required_remainders == 67 * 30
+        assert is_valid_multiplier(3621, sorted(model.error_values()))
+
+    def test_largest_16bit_multiplier_is_65519(self):
+        """Section VII-A: MUSE(144,128) chooses 65519."""
+        model = SymbolErrorModel(SymbolLayout.sequential(144, 4))
+        assert largest_multiplier(model, 16) == 65519
+
+
+class TestSearchMechanics:
+    def test_stop_after_limits_result(self):
+        model = SymbolErrorModel(SymbolLayout.sequential(80, 4))
+        result = find_multipliers(model, r=11, stop_after=1)
+        assert result.multipliers == (1491,)
+        assert result.candidates_tested < 512
+
+    def test_descending_finds_largest_first(self):
+        model = SymbolErrorModel(SymbolLayout.sequential(80, 4))
+        result = MultiplierSearch(model, 11).run_descending(stop_after=1)
+        assert result.multipliers == (2005,)
+
+    def test_smallest_feasible_redundancy(self):
+        """11 bits is the least redundancy covering the 80-bit C4B model."""
+        model = SymbolErrorModel(SymbolLayout.sequential(80, 4))
+        result = smallest_feasible_redundancy(model, r_min=8, r_max=12)
+        assert result is not None
+        assert result.r == 11
+
+    def test_progress_callback_invoked(self):
+        model = SymbolErrorModel(SymbolLayout.sequential(80, 4))
+        calls: list[tuple[int, int]] = []
+        search = MultiplierSearch(model, 11, progress=lambda d, t: calls.append((d, t)))
+        search.run()
+        assert calls
+        assert all(total == 512 for _, total in calls)
+
+    def test_result_describe(self):
+        model = SymbolErrorModel(SymbolLayout.sequential(80, 4))
+        result = find_multipliers(model, r=11)
+        text = result.describe()
+        assert "MUSE(80,69)" in text
+        assert "2005" in text

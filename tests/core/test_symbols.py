@@ -1,0 +1,149 @@
+"""Unit tests for repro.core.symbols (bit-to-symbol assignment)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.symbols import SymbolLayout
+
+
+class TestConstruction:
+    def test_sequential_partitions_all_bits(self):
+        layout = SymbolLayout.sequential(16, 4)
+        assert layout.symbol_count == 4
+        assert layout.symbols[0] == (0, 1, 2, 3)
+        assert layout.symbols[3] == (12, 13, 14, 15)
+
+    def test_sequential_rejects_nondivisible(self):
+        with pytest.raises(ValueError, match="not a multiple"):
+            SymbolLayout.sequential(10, 4)
+
+    def test_duplicate_bit_rejected(self):
+        with pytest.raises(ValueError, match="assigned twice"):
+            SymbolLayout(4, ((0, 1), (1, 3)))
+
+    def test_missing_bit_rejected(self):
+        with pytest.raises(ValueError, match="not covered"):
+            SymbolLayout(4, ((0, 1), (3,)))
+
+    def test_out_of_range_bit_rejected(self):
+        with pytest.raises(ValueError, match="outside codeword"):
+            SymbolLayout(4, ((0, 1), (2, 4)))
+
+    def test_interleaved_requires_consistent_geometry(self):
+        with pytest.raises(ValueError, match="must equal"):
+            SymbolLayout.interleaved(80, 8, 9)
+
+
+class TestPaperShuffles:
+    def test_eq5_matches_paper_equation(self):
+        """Eq. 5: S_i = [b_i, b_10+i, ..., b_70+i] for i in [0, 9]."""
+        layout = SymbolLayout.eq5()
+        assert layout.n == 80
+        assert layout.symbol_count == 10
+        for i in range(10):
+            assert layout.symbols[i] == tuple(i + 10 * j for j in range(8))
+
+    def test_eq6_matches_paper_equation(self):
+        """Eq. 6: even/odd symbols take the low/high 40-bit half."""
+        layout = SymbolLayout.eq6()
+        assert layout.n == 80
+        assert layout.symbol_count == 20
+        for i in range(10):
+            assert layout.symbols[2 * i] == (i, 10 + i, 20 + i, 30 + i)
+            assert layout.symbols[2 * i + 1] == (40 + i, 50 + i, 60 + i, 70 + i)
+
+    def test_eq5_is_shuffled_not_sequential(self):
+        assert not SymbolLayout.eq5().is_sequential()
+        assert SymbolLayout.sequential(80, 8).is_sequential()
+
+
+class TestViews:
+    def test_symbol_size_uniform(self):
+        assert SymbolLayout.sequential(144, 4).symbol_size == 4
+        assert SymbolLayout.eq5().symbol_size == 8
+
+    def test_mixed_symbol_size_rejected_by_view(self):
+        layout = SymbolLayout(3, ((0,), (1, 2)))
+        with pytest.raises(ValueError, match="mixed"):
+            _ = layout.symbol_size
+
+    def test_masks_partition_the_word(self):
+        layout = SymbolLayout.eq6()
+        combined = 0
+        for mask in layout.masks:
+            assert combined & mask == 0
+            combined |= mask
+        assert combined == (1 << 80) - 1
+
+    def test_bit_to_symbol_inverse_of_symbols(self):
+        layout = SymbolLayout.eq5()
+        for index, symbol in enumerate(layout.symbols):
+            for bit in symbol:
+                assert layout.symbol_of_bit(bit) == index
+
+
+class TestSymbolAccess:
+    def test_extract_insert_roundtrip(self):
+        layout = SymbolLayout.sequential(16, 4)
+        word = 0xABCD
+        for i in range(4):
+            value = layout.extract_symbol(word, i)
+            assert layout.insert_symbol(word, i, value) == word
+
+    def test_extract_uses_device_local_bit_order(self):
+        # Shuffled symbol 0 of Eq.5 holds bits 0,10,...,70; set bit 10 only.
+        layout = SymbolLayout.eq5()
+        word = 1 << 10
+        assert layout.extract_symbol(word, 0) == 0b10
+
+    def test_insert_rejects_oversized_value(self):
+        layout = SymbolLayout.sequential(16, 4)
+        with pytest.raises(ValueError, match="does not fit"):
+            layout.insert_symbol(0, 0, 16)
+
+    @given(
+        word=st.integers(min_value=0, max_value=(1 << 80) - 1),
+        index=st.integers(min_value=0, max_value=9),
+        value=st.integers(min_value=0, max_value=255),
+    )
+    def test_insert_then_extract_returns_value(self, word, index, value):
+        layout = SymbolLayout.eq5()
+        updated = layout.insert_symbol(word, index, value)
+        assert layout.extract_symbol(updated, index) == value
+        # other symbols untouched
+        for other in range(10):
+            if other != index:
+                assert layout.extract_symbol(updated, other) == (
+                    layout.extract_symbol(word, other)
+                )
+
+
+class TestRippleCheck:
+    def test_zero_diff_is_confined(self):
+        assert SymbolLayout.sequential(16, 4).confined_to_single_symbol(0)
+
+    def test_single_symbol_diff_is_confined(self):
+        layout = SymbolLayout.sequential(16, 4)
+        assert layout.confined_to_single_symbol(0b1111 << 4)
+
+    def test_cross_symbol_diff_is_not_confined(self):
+        layout = SymbolLayout.sequential(16, 4)
+        assert not layout.confined_to_single_symbol(0b11000)  # bits 3 and 4
+
+    def test_diff_beyond_codeword_is_not_confined(self):
+        layout = SymbolLayout.sequential(16, 4)
+        assert not layout.confined_to_single_symbol(1 << 16)
+
+    def test_shuffled_symbol_diff_is_confined(self):
+        # Bits 3 and 13 belong to the same Eq.5 symbol (S_3).
+        layout = SymbolLayout.eq5()
+        assert layout.confined_to_single_symbol((1 << 3) | (1 << 13))
+        # Bits 3 and 14 straddle S_3 / S_4.
+        assert not layout.confined_to_single_symbol((1 << 3) | (1 << 14))
+
+
+class TestDescribe:
+    def test_describe_mentions_shape_and_kind(self):
+        text = SymbolLayout.eq5().describe()
+        assert "10 x 8-bit" in text
+        assert "shuffled" in text

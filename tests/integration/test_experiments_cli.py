@@ -1,0 +1,63 @@
+"""Experiment-runner and CLI integration tests (fast settings)."""
+
+import pytest
+
+from repro.cli import build_parser, run
+from repro.experiments import (
+    ablation_shuffle,
+    figure1b,
+    pim,
+    table1,
+    table3,
+)
+
+
+class TestRunners:
+    def test_table1_reports_exact_match(self):
+        report = table1.main()
+        assert report.count("exact list") == 4
+        assert "4065" in report and "821" in report
+
+    def test_figure1b_report(self):
+        report = figure1b.main()
+        assert "sequential" in report and "shuffled" in report
+
+    def test_table3_all_match(self):
+        report = table3.main()
+        assert report.count("yes") == 4
+        assert "NO" not in report.replace("NO\n", "")  # no mismatches
+
+    def test_pim_report(self):
+        report = pim.main(coverage_trials=200)
+        assert "2.67x" in report
+        assert "100.0%" in report
+
+    def test_ablation_shuffle_reproduces_appendix_g(self):
+        rows = ablation_shuffle.sweep()
+        r13 = next(r for r in rows if r.label == "C8A/80b" and r.r == 13)
+        # sequential finds 0, the Eq.5 shuffle finds exactly m=5621.
+        assert r13.sequential_found == 0
+        assert r13.shuffled_found == 1
+
+
+class TestCli:
+    def test_parser_accepts_known_experiments(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1"])
+        assert args.experiment == "table1"
+
+    def test_parser_rejects_unknown(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["table99"])
+
+    def test_run_quick_experiment(self, capsys):
+        parser = build_parser()
+        args = parser.parse_args(["table3"])
+        assert run(args) == 0
+        assert "4065" in capsys.readouterr().out
+
+    def test_quick_flag_shrinks_settings(self, capsys):
+        parser = build_parser()
+        args = parser.parse_args(["pim", "--quick"])
+        assert run(args) == 0

@@ -1,0 +1,23 @@
+"""Extension-experiment test: the double-device claim resolution."""
+
+from repro.experiments.extension_double_device import (
+    build_r15_ssc_code,
+    run,
+    unknown_location_search,
+)
+
+
+class TestDoubleDeviceExtension:
+    def test_unknown_location_is_infeasible_at_r15(self):
+        assert unknown_location_search(15) == []
+
+    def test_r15_ssc_code_exists_with_one_spare_bit(self):
+        code = build_r15_ssc_code()
+        assert code.r == 15
+        assert code.k == 65  # 64 data + 1 spare
+        assert code.spare_bits(64) == 1
+
+    def test_erasure_recovery_is_total(self):
+        result = run(trials=60, seed=3)
+        assert result.erasure_recovered == result.erasure_trials
+        assert result.r15_unknown_location == []

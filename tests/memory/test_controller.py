@@ -1,0 +1,140 @@
+"""Memory-controller integration tests: the Figure-2 loop end to end."""
+
+import pytest
+
+from repro.core.codes import muse_80_69, muse_144_132
+from repro.core.symbols import SymbolLayout
+from repro.memory.controller import (
+    MemoryController,
+    MuseEcc,
+    NoEcc,
+    ReadStatus,
+    ReedSolomonEcc,
+)
+from repro.memory.dram import ddr4_144bit, ddr5_80bit_x4
+from repro.memory.striping import DeviceStriping
+from repro.rs.reed_solomon import rs_144_128
+
+
+def muse_controller() -> MemoryController:
+    code = muse_144_132()
+    striping = DeviceStriping(code.layout, ddr4_144bit())
+    return MemoryController(MuseEcc(code), striping)
+
+
+def ddr4_144bit_8():
+    """18 x8 view of the same 144 wires (one symbol per device)."""
+    from repro.memory.dram import ChannelGeometry
+
+    return ChannelGeometry(name="DDR4-x8-view", device_bits=8, devices=18)
+
+
+def rs_controller() -> MemoryController:
+    code = rs_144_128()
+    striping = DeviceStriping(SymbolLayout.sequential(144, 8), ddr4_144bit_8())
+    return MemoryController(ReedSolomonEcc(code), striping)
+
+
+class TestWriteRead:
+    def test_clean_roundtrip(self):
+        controller = muse_controller()
+        controller.write(0, 0xDEAD_BEEF_CAFE)
+        result = controller.read(0)
+        assert result.status is ReadStatus.OK
+        assert result.data == 0xDEAD_BEEF_CAFE
+
+    def test_unwritten_address_raises(self):
+        with pytest.raises(KeyError):
+            muse_controller().read(99)
+
+    def test_stats_track_operations(self):
+        controller = muse_controller()
+        controller.write(0, 1)
+        controller.write(1, 2)
+        controller.read(0)
+        assert controller.stats.writes == 2
+        assert controller.stats.reads == 1
+
+
+class TestChipKill:
+    """The headline scenario: a dead chip, transparent recovery."""
+
+    def test_muse_survives_device_failure(self):
+        controller = muse_controller()
+        for address in range(16):
+            controller.write(address, address * 0xABCDEF0123)
+        controller.fail_device(11)
+        for address in range(16):
+            result = controller.read(address)
+            assert result.status in (ReadStatus.OK, ReadStatus.CORRECTED)
+            assert result.data == address * 0xABCDEF0123
+        assert controller.stats.uncorrectable == 0
+
+    def test_rs_survives_device_failure(self):
+        controller = rs_controller()
+        for address in range(8):
+            controller.write(address, address * 0x1111_2222)
+        controller.fail_device(3)
+        for address in range(8):
+            result = controller.read(address)
+            assert result.data == address * 0x1111_2222
+
+    def test_two_failed_devices_detected_not_miscorrected_silently(self):
+        controller = muse_controller()
+        controller.write(0, 0x1234_5678_9ABC)
+        controller.fail_device(0, stuck_value=0x5)
+        controller.fail_device(20, stuck_value=0xA)
+        result = controller.read(0)
+        # Double-device errors are beyond the SSC guarantee; they must
+        # not be returned as clean data.
+        assert result.status is not ReadStatus.OK
+
+    def test_repair_and_scrub_restores_protection(self):
+        controller = muse_controller()
+        controller.write(0, 0xFEED)
+        controller.fail_device(2)
+        assert controller.read(0).data == 0xFEED
+        controller.repair_device(2)
+        controller.scrub(0)
+        # A new single-device failure is again correctable.
+        controller.fail_device(30)
+        result = controller.read(0)
+        assert result.data == 0xFEED
+        assert result.status in (ReadStatus.OK, ReadStatus.CORRECTED)
+
+    def test_corrected_reads_counted(self):
+        controller = muse_controller()
+        controller.write(0, 7)
+        controller.fail_device(5, stuck_value=0xF)
+        before = controller.stats.corrected
+        status = controller.read(0).status
+        if status is ReadStatus.CORRECTED:
+            assert controller.stats.corrected == before + 1
+
+
+class TestAdapters:
+    def test_no_ecc_passthrough(self):
+        controller = MemoryController(NoEcc(64))
+        controller.write(0, 0xFFFF)
+        assert controller.read(0).data == 0xFFFF
+
+    def test_device_fault_requires_striping(self):
+        controller = MemoryController(NoEcc(64))
+        with pytest.raises(RuntimeError):
+            controller.fail_device(0)
+
+    def test_striping_width_mismatch_rejected(self):
+        code = muse_80_69()
+        striping = DeviceStriping(SymbolLayout.sequential(80, 4), ddr5_80bit_x4())
+        MemoryController(MuseEcc(code), striping)  # OK
+        bad_striping = DeviceStriping(
+            SymbolLayout.sequential(144, 4), ddr4_144bit()
+        )
+        with pytest.raises(ValueError):
+            MemoryController(MuseEcc(code), bad_striping)
+
+    def test_stuck_value_width_check(self):
+        controller = muse_controller()
+        controller.write(0, 1)
+        with pytest.raises(ValueError):
+            controller.fail_device(0, stuck_value=16)

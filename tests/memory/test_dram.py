@@ -1,0 +1,58 @@
+"""DRAM geometry tests."""
+
+import pytest
+
+from repro.memory.dram import (
+    ChannelGeometry,
+    MemoryConfig,
+    ddr4_144bit,
+    ddr5_40bit_x8_two_beats,
+    ddr5_80bit_x4,
+    hbm2_pim_256bit,
+)
+
+
+class TestGeometries:
+    def test_ddr4_channel_is_144_bits(self):
+        geometry = ddr4_144bit()
+        assert geometry.codeword_bits == 144
+        assert geometry.devices == 36
+        assert geometry.bus_bits == 144
+
+    def test_ddr5_dual_channel_is_80_bits(self):
+        geometry = ddr5_80bit_x4()
+        assert geometry.codeword_bits == 80
+        assert geometry.devices == 20
+
+    def test_ddr5_x8_two_beat_split(self):
+        """Section IV: 80-bit codewords over a 40-bit channel, half a
+        symbol per transaction."""
+        geometry = ddr5_40bit_x8_two_beats()
+        assert geometry.codeword_bits == 80
+        assert geometry.bus_bits == 40
+        assert geometry.beats == 2
+        assert geometry.bits_per_device == 8
+
+    def test_hbm2_pim_covers_268_bit_codewords(self):
+        geometry = hbm2_pim_256bit()
+        assert geometry.codeword_bits == 268
+
+    def test_describe(self):
+        assert "36 x4" in ddr4_144bit().describe()
+
+
+class TestValidation:
+    def test_positive_dimensions_required(self):
+        with pytest.raises(ValueError):
+            ChannelGeometry("bad", device_bits=0, devices=4)
+        with pytest.raises(ValueError):
+            ChannelGeometry("bad", device_bits=4, devices=-1)
+
+    def test_memory_config_address_check(self):
+        config = MemoryConfig(geometry=ddr4_144bit(), codewords=128)
+        config.validate_address(0)
+        config.validate_address(127)
+        with pytest.raises(IndexError):
+            config.validate_address(128)
+        with pytest.raises(IndexError):
+            config.validate_address(-1)

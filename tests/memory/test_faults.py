@@ -1,0 +1,138 @@
+"""Fault-injection model tests."""
+
+import random
+
+import pytest
+
+from repro.core.symbols import SymbolLayout
+from repro.memory.faults import (
+    DeviceFailure,
+    FaultCampaign,
+    MultiDeviceFailure,
+    RandomBitFlips,
+    RetentionFault,
+    StuckDevice,
+)
+
+
+LAYOUT = SymbolLayout.sequential(80, 4)
+
+
+class TestDeviceFailure:
+    def test_corruption_confined_to_one_device(self):
+        rng = random.Random(1)
+        fault = DeviceFailure(LAYOUT)
+        for _ in range(50):
+            word = rng.randrange(1 << 80)
+            corrupted, record = fault.inject(word, rng)
+            assert corrupted != word
+            assert len(record.devices) == 1
+            device = record.devices[0]
+            changed = word ^ corrupted
+            assert changed & ~LAYOUT.masks[device] == 0
+
+    def test_fixed_device_honored(self):
+        rng = random.Random(2)
+        fault = DeviceFailure(LAYOUT, device=7)
+        _, record = fault.inject(0, rng)
+        assert record.devices == (7,)
+
+    def test_record_lists_flipped_bits(self):
+        rng = random.Random(3)
+        corrupted, record = DeviceFailure(LAYOUT, device=0).inject(0, rng)
+        assert corrupted == sum(1 << bit for bit in record.flipped_bits)
+
+
+class TestStuckDevice:
+    def test_stuck_at_zero(self):
+        rng = random.Random(4)
+        word = (1 << 80) - 1
+        corrupted, record = StuckDevice(LAYOUT, device=5).inject(word, rng)
+        assert LAYOUT.extract_symbol(corrupted, 5) == 0
+        assert record.kind == "stuck_device"
+
+    def test_stuck_at_ones(self):
+        rng = random.Random(5)
+        corrupted, _ = StuckDevice(LAYOUT, device=5, stuck_to_ones=True).inject(
+            0, rng
+        )
+        assert LAYOUT.extract_symbol(corrupted, 5) == 0xF
+
+    def test_no_change_when_already_stuck(self):
+        rng = random.Random(6)
+        corrupted, record = StuckDevice(LAYOUT, device=5).inject(0, rng)
+        assert corrupted == 0
+        assert record.flipped_bits == ()
+
+
+class TestMultiDevice:
+    def test_exactly_k_devices_corrupted(self):
+        rng = random.Random(7)
+        fault = MultiDeviceFailure(LAYOUT, device_count=3)
+        for _ in range(30):
+            word = rng.randrange(1 << 80)
+            corrupted, record = fault.inject(word, rng)
+            assert len(record.devices) == 3
+            touched = {LAYOUT.symbol_of_bit(b) for b in record.flipped_bits}
+            assert touched == set(record.devices)
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            MultiDeviceFailure(LAYOUT, device_count=1)
+        with pytest.raises(ValueError):
+            MultiDeviceFailure(LAYOUT, device_count=21)
+
+
+class TestRetention:
+    def test_flips_are_one_to_zero_only(self):
+        rng = random.Random(8)
+        fault = RetentionFault(LAYOUT, max_bits=6)
+        for _ in range(50):
+            word = rng.randrange(1 << 80)
+            corrupted, record = fault.inject(word, rng)
+            assert corrupted & ~word == 0  # no new ones
+            for bit in record.flipped_bits:
+                assert word >> bit & 1 == 1
+
+    def test_device_confined_retention(self):
+        rng = random.Random(9)
+        fault = RetentionFault(LAYOUT, max_bits=4, device=3)
+        word = (1 << 80) - 1
+        corrupted, record = fault.inject(word, rng)
+        assert record.devices == (3,)
+        assert (word ^ corrupted) & ~LAYOUT.masks[3] == 0
+
+    def test_all_zero_word_is_noop(self):
+        rng = random.Random(10)
+        corrupted, record = RetentionFault(LAYOUT).inject(0, rng)
+        assert corrupted == 0
+        assert record.flipped_bits == ()
+
+
+class TestRandomBitFlips:
+    def test_exact_flip_count(self):
+        rng = random.Random(11)
+        fault = RandomBitFlips(LAYOUT, flips=5)
+        word = rng.randrange(1 << 80)
+        corrupted, record = fault.inject(word, rng)
+        assert bin(word ^ corrupted).count("1") == 5
+        assert record.bit_count == 5
+
+    def test_flip_count_validation(self):
+        with pytest.raises(ValueError):
+            RandomBitFlips(LAYOUT, flips=0)
+        with pytest.raises(ValueError):
+            RandomBitFlips(LAYOUT, flips=81)
+
+
+class TestCampaign:
+    def test_campaign_is_deterministic_under_seed(self):
+        words = [i * 0x1234567 for i in range(20)]
+        first = FaultCampaign(DeviceFailure(LAYOUT), seed=42).run(list(words))
+        second = FaultCampaign(DeviceFailure(LAYOUT), seed=42).run(list(words))
+        assert first == second
+
+    def test_campaign_records_every_injection(self):
+        campaign = FaultCampaign(RandomBitFlips(LAYOUT, flips=2), seed=1)
+        campaign.run([0] * 15)
+        assert len(campaign.records) == 15

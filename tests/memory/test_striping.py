@@ -1,0 +1,104 @@
+"""Striping tests, including the paper's Figure 1(a) worked example."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.symbols import SymbolLayout
+from repro.memory.dram import (
+    ChannelGeometry,
+    ddr4_144bit,
+    ddr5_40bit_x8_two_beats,
+    ddr5_80bit_x4,
+)
+from repro.memory.striping import DeviceStriping
+
+
+class TestBinding:
+    def test_symbol_count_must_match_devices(self):
+        layout = SymbolLayout.sequential(144, 4)
+        with pytest.raises(ValueError, match="devices"):
+            DeviceStriping(layout, ddr5_80bit_x4())
+
+    def test_width_must_match(self):
+        layout = SymbolLayout.sequential(80, 4)
+        geometry = ChannelGeometry("odd", device_bits=5, devices=20)
+        with pytest.raises(ValueError, match="bits"):
+            DeviceStriping(layout, geometry)
+
+    def test_ddr4_sequential_binding(self):
+        striping = DeviceStriping(SymbolLayout.sequential(144, 4), ddr4_144bit())
+        assert striping.geometry.devices == 36
+
+
+class TestFigure1a:
+    """The paper's toy example: x2 devices, shuffle b0,b3 / b1,b2.
+
+    'failure of DRAM #1 results in corruption of bits b0 and b3' and the
+    error value of pattern 01 (high wire) becomes 8 instead of 2.
+    """
+
+    def setup_method(self):
+        self.layout = SymbolLayout(4, ((0, 3), (1, 2)))
+        self.geometry = ChannelGeometry("toy-x2", device_bits=2, devices=2)
+        self.striping = DeviceStriping(self.layout, self.geometry)
+
+    def test_device_1_holds_b0_and_b3(self):
+        codeword = 0b1001  # b0 and b3 set
+        assert self.striping.device_slice(codeword, 0) == 0b11
+        assert self.striping.device_slice(codeword, 1) == 0b00
+
+    def test_error_pattern_01_has_value_8(self):
+        # flipping only the device's second wire flips codeword bit b3,
+        # an error value of 2^3 = 8 (sequential assignment would give 2).
+        clean = 0
+        corrupted = self.striping.replace_device_slice(clean, 0, 0b10)
+        assert corrupted - clean == 8
+
+    def test_device_failure_is_symbol_confined(self):
+        codeword = 0b0110
+        corrupted = self.striping.replace_device_slice(codeword, 1, 0b00)
+        changed = codeword ^ corrupted
+        assert self.layout.confined_to_single_symbol(changed)
+
+
+class TestSliceRoundtrip:
+    @given(codeword=st.integers(0, (1 << 80) - 1))
+    @settings(max_examples=100)
+    def test_to_from_device_slices(self, codeword):
+        striping = DeviceStriping(SymbolLayout.eq5(), ddr5_40bit_x8_two_beats())
+        slices = striping.to_device_slices(codeword)
+        assert striping.from_device_slices(slices) == codeword
+
+    def test_from_device_slices_length_check(self):
+        striping = DeviceStriping(SymbolLayout.sequential(80, 4), ddr5_80bit_x4())
+        with pytest.raises(ValueError, match="expected 20"):
+            striping.from_device_slices([0] * 19)
+
+
+class TestBeats:
+    @given(codeword=st.integers(0, (1 << 80) - 1))
+    @settings(max_examples=100)
+    def test_beat_roundtrip(self, codeword):
+        """MUSE(80,67) transfer: two beats of 40 wires each."""
+        striping = DeviceStriping(SymbolLayout.eq5(), ddr5_40bit_x8_two_beats())
+        beats = striping.beat_slices(codeword)
+        assert len(beats) == 2
+        assert all(len(beat) == 10 for beat in beats)
+        assert all(value < 16 for beat in beats for value in beat)
+        assert striping.from_beat_slices(beats) == codeword
+
+    def test_single_beat_channel(self):
+        striping = DeviceStriping(SymbolLayout.sequential(80, 4), ddr5_80bit_x4())
+        beats = striping.beat_slices(0xABCDE)
+        assert len(beats) == 1
+        assert beats[0] == striping.to_device_slices(0xABCDE)
+
+    def test_each_beat_carries_half_of_each_symbol(self):
+        """Section IV: 'every bus transaction carries half of the 8-bit
+        symbol to memory (for all symbols)'."""
+        striping = DeviceStriping(SymbolLayout.eq5(), ddr5_40bit_x8_two_beats())
+        # Set all 8 bits of device 3's slice.
+        codeword = striping.replace_device_slice(0, 3, 0xFF)
+        first, second = striping.beat_slices(codeword)
+        assert first[3] == 0xF and second[3] == 0xF
+        assert sum(first) + sum(second) == 0xF + 0xF

@@ -1,0 +1,113 @@
+"""DRAM timing and power model tests."""
+
+import pytest
+
+from repro.perf.dram_timing import (
+    DramChannel,
+    DramCounters,
+    DramPowerConfig,
+    DramPowerModel,
+    DramTimingConfig,
+)
+
+
+class TestRowBuffer:
+    def test_row_hit_is_faster_than_miss(self):
+        channel = DramChannel()
+        first = channel.read(0, 0.0)  # cold row: activate
+        second = channel.read(64, first)  # same row: hit
+        config = channel.config
+        assert first == config.row_hit_ns + config.row_miss_extra_ns
+        assert second - first == config.row_hit_ns
+
+    def test_row_conflict_reopens(self):
+        config = DramTimingConfig(banks=1)
+        channel = DramChannel(config)
+        channel.read(0, 0.0)
+        t = channel.read(config.row_bytes, 1000.0)  # different row, bank 0
+        assert t - 1000.0 == config.row_hit_ns + config.row_miss_extra_ns
+        assert channel.counters.activates == 2
+
+    def test_banks_hold_independent_rows(self):
+        config = DramTimingConfig(banks=2)
+        channel = DramChannel(config)
+        channel.read(0, 0.0)  # bank 0, row 0
+        channel.read(config.row_bytes, 1000.0)  # bank 1
+        t = channel.read(64, 2000.0)  # bank 0 row still open
+        assert t - 2000.0 == config.row_hit_ns
+
+
+class TestBus:
+    def test_demand_reads_serialize_on_bus(self):
+        channel = DramChannel()
+        config = channel.config
+        first = channel.read(0, 0.0)
+        # Immediately-following read waits for the first burst slot.
+        second = channel.read(1 << 20, 0.0)
+        assert second >= config.bus_occupancy_ns
+        assert channel.counters.demand_wait_ns > 0
+
+    def test_correction_delay_extends_completion_not_bus(self):
+        plain = DramChannel()
+        ecc = DramChannel()
+        t_plain = plain.read(0, 0.0)
+        t_ecc = ecc.read(0, 0.0, extra_ns=1.25)
+        assert t_ecc - t_plain == 1.25
+
+
+class TestWriteDrain:
+    def test_writes_buffer_until_threshold(self):
+        config = DramTimingConfig(write_drain_threshold=4)
+        channel = DramChannel(config)
+        for i in range(3):
+            channel.write(i * 64, 0.0)
+        assert channel._bus_free_ns == 0.0  # nothing drained yet
+        channel.write(3 * 64, 0.0)
+        assert channel._bus_free_ns > 0.0
+        assert channel.counters.writes == 4
+
+    def test_encode_delay_lengthens_drain(self):
+        config = DramTimingConfig(write_drain_threshold=4)
+        plain = DramChannel(config)
+        ecc = DramChannel(config)
+        for i in range(4):
+            plain.write(i * 64, 0.0)
+            ecc.write(i * 64, 0.0, extra_ns=1.25)
+        assert ecc._bus_free_ns - plain._bus_free_ns == pytest.approx(4 * 1.25)
+
+    def test_manual_drain(self):
+        channel = DramChannel()
+        channel.write(0, 0.0)
+        channel.drain_writes(0.0)
+        assert channel._write_queue == []
+        channel.drain_writes(0.0)  # idempotent on empty queue
+
+
+class TestPower:
+    def test_background_floor(self):
+        model = DramPowerModel()
+        idle = model.power_mw(DramCounters(), elapsed_ns=1e9)
+        config = DramPowerConfig()
+        assert idle == config.background_mw + config.refresh_mw
+
+    def test_dynamic_power_scales_with_operations(self):
+        model = DramPowerModel()
+        light = DramCounters(reads=1000, writes=100, activates=300)
+        heavy = DramCounters(reads=2000, writes=200, activates=600)
+        p_light = model.power_mw(light, 1e6)
+        p_heavy = model.power_mw(heavy, 1e6)
+        floor = model.power_mw(DramCounters(), 1e6)
+        assert (p_heavy - floor) == pytest.approx(2 * (p_light - floor))
+
+    def test_zero_elapsed_returns_floor(self):
+        model = DramPowerModel()
+        assert model.power_mw(DramCounters(reads=5), 0.0) == (
+            model.config.background_mw + model.config.refresh_mw
+        )
+
+    def test_total_power_in_table_vi_range(self):
+        """A busy channel should land in the paper's ~6.4-6.7 W band."""
+        model = DramPowerModel()
+        counters = DramCounters(reads=40_000, writes=12_000, activates=15_000)
+        power = model.power_mw(counters, 2.5e6)  # 2.5 ms
+        assert 6300 < power < 6900

@@ -1,0 +1,164 @@
+"""Simulator integration tests: Figure 6 / Figure 7 / Table VI shapes.
+
+These use short traces and a 3-workload subset; the full-suite runs
+live in the benchmark harness.
+"""
+
+import pytest
+
+from repro.perf.simulator import (
+    FIGURE6_CONFIGS,
+    MUSE_TIMING,
+    NO_ECC_TIMING,
+    RS_TIMING,
+    SimResult,
+    Simulator,
+    SystemConfig,
+    run_figure6,
+    run_figure7,
+    summarize_table6,
+)
+from repro.perf.tagging import TaggingMode
+from repro.perf.workloads import SPEC2017_PROFILES, profile_by_name
+
+MEMORY_BOUND = profile_by_name("519.lbm_r")
+CACHE_RESIDENT = profile_by_name("541.leela_r")
+SUBSET = (MEMORY_BOUND, profile_by_name("505.mcf_r"), CACHE_RESIDENT)
+OPS = 20_000
+
+
+class TestEccTiming:
+    def test_paper_cycle_latencies(self):
+        """Table V gem5 columns: MUSE 3 cycles, RS 1, at 2400 MHz."""
+        assert MUSE_TIMING.write_cycles == 3
+        assert RS_TIMING.write_cycles == 1
+        assert abs(MUSE_TIMING.write_ns - 1.25) < 1e-9
+        assert abs(RS_TIMING.write_ns - 0.41667) < 1e-3
+
+
+class TestSimulator:
+    def test_deterministic(self):
+        config = SystemConfig("b", NO_ECC_TIMING)
+        first = Simulator(MEMORY_BOUND, config, OPS, seed=3).run()
+        second = Simulator(MEMORY_BOUND, config, OPS, seed=3).run()
+        assert first == second
+
+    def test_memory_bound_reads_dwarf_cache_resident(self):
+        config = SystemConfig("b", NO_ECC_TIMING)
+        heavy = Simulator(MEMORY_BOUND, config, OPS).run()
+        light = Simulator(CACHE_RESIDENT, config, OPS).run()
+        assert heavy.dram_reads > 10 * max(1, light.dram_reads)
+
+    def test_warm_start_produces_writebacks(self):
+        config = SystemConfig("b", NO_ECC_TIMING)
+        result = Simulator(MEMORY_BOUND, config, OPS).run()
+        assert result.dram_writes > 0
+
+    def test_result_properties(self):
+        result = SimResult(
+            workload="x", config="y", instructions=3400, elapsed_ns=1000.0,
+            dram_reads=10, dram_writes=5,
+        )
+        assert result.dram_operations == 15
+        assert result.ipc == pytest.approx(1.0)
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_figure6(SUBSET, mem_ops=OPS)
+
+    def test_all_configs_present(self, rows):
+        expected = {config.name for config in FIGURE6_CONFIGS}
+        for row in rows:
+            assert set(row.slowdowns) == expected
+
+    def test_slowdowns_are_small(self, rows):
+        """Figure 6's message: ECC latency costs are sub-5% everywhere."""
+        for row in rows:
+            for value in row.slowdowns.values():
+                assert 0.99 < value < 1.05
+
+    def test_always_correction_costs_more_than_error_free(self, rows):
+        for row in rows:
+            assert (
+                row.slowdowns["MUSE Always Correction"]
+                >= row.slowdowns["MUSE"] - 1e-9
+            )
+            assert (
+                row.slowdowns["RS Always Correction"]
+                >= row.slowdowns["RS"] - 1e-9
+            )
+
+    def test_muse_ac_costs_more_than_rs_ac_when_memory_bound(self, rows):
+        """3-cycle vs 1-cycle correction must be visible for lbm."""
+        lbm = next(r for r in rows if r.workload == "519.lbm_r")
+        assert (
+            lbm.slowdowns["MUSE Always Correction"]
+            > lbm.slowdowns["RS Always Correction"]
+        )
+
+    def test_cache_resident_benchmark_barely_moves(self, rows):
+        leela = next(r for r in rows if r.workload == "541.leela_r")
+        assert leela.slowdowns["MUSE Always Correction"] < 1.005
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_figure7(SUBSET, mem_ops=OPS)
+
+    def test_muse_mt_adds_no_metadata_traffic(self, rows):
+        for row in rows:
+            assert row.results["MUSE MT"].metadata_reads == 0
+
+    def test_base_mt_fetches_metadata_per_miss(self, rows):
+        for row in rows:
+            base = row.results["Base MT"]
+            assert base.metadata_reads == base.dram_reads - (
+                base.dram_reads - base.metadata_reads
+            )
+            muse_reads = row.results["MUSE MT"].dram_reads
+            # metadata reads ~ demand reads (every miss fetches)
+            assert base.metadata_reads >= 0.95 * muse_reads
+
+    def test_metadata_cache_cuts_traffic(self, rows):
+        """Paper: 67% extra ops uncached vs 12% cached on average."""
+        for row in rows:
+            base = row.results["Base MT"].metadata_reads
+            cached = row.results["32-entry Cache MT"].metadata_reads
+            assert cached <= base
+
+    def test_streaming_workload_has_high_metadata_hit_rate(self, rows):
+        lbm = next(r for r in rows if r.workload == "519.lbm_r")
+        base = lbm.results["Base MT"].metadata_reads
+        cached = lbm.results["32-entry Cache MT"].metadata_reads
+        assert cached < 0.3 * base  # 2 kB tag lines, sequential stream
+
+    def test_ops_normalization(self, rows):
+        for row in rows:
+            ops = row.normalized("dram_operations")
+            assert ops["MUSE MT"] == pytest.approx(1.0)
+            assert 1.0 <= ops["Base MT"] <= 2.01
+
+    def test_power_ordering_matches_paper(self, rows):
+        """Figure 7(b): MUSE <= cached <= base for DRAM power."""
+        for row in rows:
+            power = row.normalized("dram_power_mw")
+            assert power["MUSE MT"] == pytest.approx(1.0)
+            assert power["Base MT"] >= power["32-entry Cache MT"] - 5e-3
+
+
+class TestTableVI:
+    def test_summary_shape_and_ordering(self):
+        rows = run_figure7(SUBSET, mem_ops=OPS)
+        summary = summarize_table6(rows)
+        schemes = [row.scheme for row in summary]
+        assert schemes == ["MT w/ MUSE", "MT w/ 16kB cache", "MT w/o cache"]
+        muse, cached, base = summary
+        # Paper's ordering: MUSE total < cached total < uncached total.
+        assert muse.dram_mw < cached.dram_mw < base.dram_mw
+        # DRAM power lands in the Table VI ballpark (6.4-6.8 W).
+        for row in summary:
+            assert 6300 < row.dram_mw < 6900
+        assert muse.total_mw == muse.dram_mw + 2 * muse.ecc_mw

@@ -1,0 +1,69 @@
+"""Memory-tagging configuration tests."""
+
+from repro.perf.tagging import (
+    DATA_BYTES_PER_TAG_LINE,
+    METADATA_BASE,
+    MetadataCache,
+    TaggingEngine,
+    TaggingMode,
+    metadata_address_for,
+)
+
+
+class TestMetadataMapping:
+    def test_one_tag_line_covers_2kb(self):
+        assert metadata_address_for(0) == METADATA_BASE
+        assert metadata_address_for(DATA_BYTES_PER_TAG_LINE - 1) == METADATA_BASE
+        assert metadata_address_for(DATA_BYTES_PER_TAG_LINE) == METADATA_BASE + 64
+
+    def test_metadata_addresses_are_line_aligned(self):
+        for addr in (0, 12345, 1 << 30):
+            assert metadata_address_for(addr) % 64 == 0
+
+
+class TestMetadataCache:
+    def test_hit_after_fill(self):
+        cache = MetadataCache(entries=4)
+        assert not cache.lookup(0)
+        assert cache.lookup(0)
+        assert cache.lookup(16 * 1024 - 1)  # same 16 kB window
+
+    def test_lru_eviction(self):
+        cache = MetadataCache(entries=2)
+        cache.lookup(0)  # window 0
+        cache.lookup(16 * 1024)  # window 1
+        cache.lookup(0)  # touch window 0 (MRU)
+        cache.lookup(32 * 1024)  # window 2 evicts window 1
+        assert cache.lookup(0)
+        assert not cache.lookup(16 * 1024)
+
+    def test_stats(self):
+        cache = MetadataCache(entries=2)
+        cache.lookup(0)
+        cache.lookup(0)
+        assert cache.stats.lookups == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+
+
+class TestTaggingEngine:
+    def test_muse_inline_never_fetches(self):
+        engine = TaggingEngine(TaggingMode.MUSE_INLINE)
+        assert engine.metadata_read_for_miss(0) is None
+        assert engine.stats.metadata_reads == 0
+
+    def test_disjoint_always_fetches(self):
+        engine = TaggingEngine(TaggingMode.DISJOINT)
+        assert engine.metadata_read_for_miss(0) == METADATA_BASE
+        assert engine.metadata_read_for_miss(0) == METADATA_BASE
+        assert engine.stats.metadata_reads == 2
+
+    def test_cached_filters_repeats(self):
+        engine = TaggingEngine(TaggingMode.DISJOINT_CACHED)
+        assert engine.metadata_read_for_miss(0) is not None  # cold
+        assert engine.metadata_read_for_miss(64) is None  # same window
+        assert engine.stats.metadata_reads == 1
+
+    def test_none_mode(self):
+        engine = TaggingEngine(TaggingMode.NONE)
+        assert engine.metadata_read_for_miss(123) is None

@@ -1,0 +1,66 @@
+"""HBM2-PIM device and redundancy-budget tests."""
+
+import pytest
+
+from repro.pim.hbm import PimRedundancyBudget, ReliablePimDevice
+
+
+class TestBudget:
+    def test_paper_reduction_factor(self):
+        """Section VI-B: '2.6x fewer redundancy bits than provisioned'."""
+        budget = PimRedundancyBudget()
+        assert budget.provisioned_bits == 32
+        assert budget.muse_bits == 12
+        assert 2.6 <= budget.reduction_factor <= 2.7
+
+    def test_saved_bits_hold_authentication_codes(self):
+        """'The saved 20 bits ... provide enough space to store
+        cryptographic authentication codes.'"""
+        assert PimRedundancyBudget().saved_bits_per_word == 20
+
+
+class TestReliablePim:
+    def test_storage_roundtrip(self):
+        device = ReliablePimDevice()
+        value = (1 << 256) - 12345
+        device.write_word(0, value)
+        assert device.read_word(0) == value
+
+    def test_word_width_enforced(self):
+        device = ReliablePimDevice()
+        with pytest.raises(ValueError):
+            device.write_word(0, 1 << 256)
+
+    def test_chip_failure_inside_bank_is_corrected(self):
+        device = ReliablePimDevice()
+        device.write_word(0, 0xABCDEF << 128)
+        original = device.code.layout.extract_symbol(device._store[0], 33)
+        device.corrupt_device(0, symbol=33, value=original ^ 0xF)
+        assert device.read_word(0) == 0xABCDEF << 128
+
+    def test_dot_product_over_stored_words(self):
+        device = ReliablePimDevice()
+        a = [3, 5, 7]
+        b = [11, 13, 17]
+        for i, (x, y) in enumerate(zip(a, b)):
+            device.write_word(i, x)
+            device.write_word(100 + i, y)
+        assert device.dot_product([0, 1, 2], [100, 101, 102]) == (
+            3 * 11 + 5 * 13 + 7 * 17
+        )
+
+    def test_dot_product_after_storage_fault(self):
+        """Storage correction and compute checking compose: the dot
+        product over a corrupted-then-corrected word is still right."""
+        device = ReliablePimDevice()
+        device.write_word(0, 1000)
+        device.write_word(1, 2000)
+        original = device.code.layout.extract_symbol(device._store[0], 5)
+        device.corrupt_device(0, symbol=5, value=original ^ 0x3)
+        assert device.dot_product([0], [1]) == 2_000_000
+
+    def test_operand_length_check(self):
+        device = ReliablePimDevice()
+        device.write_word(0, 1)
+        with pytest.raises(ValueError):
+            device.dot_product([0], [0, 0])

@@ -1,0 +1,100 @@
+"""Residue-checked MAC tests: homomorphism, fault coverage."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pim.mac import (
+    CheckedValue,
+    ComputeFaultError,
+    MacFaultSite,
+    ResidueCheckedMac,
+    dot_product_with_faults,
+    fault_coverage,
+)
+
+M = 3621  # the paper's MUSE(268,256) multiplier
+
+
+class TestHomomorphism:
+    """e(f(x, y)) == f(e(x), e(y)) — the paper's Section I property."""
+
+    @given(x=st.integers(0, (1 << 64) - 1), y=st.integers(0, (1 << 64) - 1))
+    @settings(max_examples=200)
+    def test_addition_commutes_with_residue(self, x, y):
+        assert (x + y) % M == ((x % M) + (y % M)) % M
+
+    @given(x=st.integers(0, (1 << 64) - 1), y=st.integers(0, (1 << 64) - 1))
+    @settings(max_examples=200)
+    def test_multiplication_commutes_with_residue(self, x, y):
+        assert (x * y) % M == ((x % M) * (y % M)) % M
+
+    @given(values=st.lists(
+        st.tuples(st.integers(0, 65535), st.integers(0, 65535)),
+        min_size=1, max_size=16,
+    ))
+    @settings(max_examples=100)
+    def test_mac_shadow_tracks_true_residue(self, values):
+        mac = ResidueCheckedMac(M)
+        for a, b in values:
+            mac.accumulate(CheckedValue.of(a, M), CheckedValue.of(b, M))
+        expected = sum(a * b for a, b in values)
+        assert mac.verify_and_read() == expected
+        assert mac.accumulator.residue == expected % M
+
+
+class TestFaultDetection:
+    def test_multiplier_fault_caught(self):
+        result, detected = dot_product_with_faults(
+            M, [3, 5, 7], [11, 13, 17], fault_at=1,
+            fault_site=MacFaultSite.MULTIPLIER, fault_bit=4,
+        )
+        assert detected
+        assert result is None
+
+    def test_accumulator_fault_caught(self):
+        result, detected = dot_product_with_faults(
+            M, [3, 5, 7], [11, 13, 17], fault_at=2,
+            fault_site=MacFaultSite.ACCUMULATOR, fault_bit=9,
+        )
+        assert detected
+
+    def test_clean_run_passes(self):
+        result, detected = dot_product_with_faults(M, [1, 2], [3, 4])
+        assert not detected
+        assert result == 11
+
+    def test_single_bit_fault_coverage_is_total(self):
+        """A single-bit flip changes the accumulator by +-2^k, never a
+        multiple of the odd m, so coverage must be 100%."""
+        assert fault_coverage(M, trials=500) == 1.0
+
+    def test_counters(self):
+        mac = ResidueCheckedMac(M)
+        mac.accumulate(CheckedValue.of(2, M), CheckedValue.of(3, M))
+        assert mac.check()
+        mac.inject_fault(MacFaultSite.ACCUMULATOR, 5)
+        mac.accumulate(CheckedValue.of(1, M), CheckedValue.of(1, M))
+        assert not mac.check()
+        assert mac.checks_passed == 1
+        assert mac.faults_caught == 1
+
+    def test_verify_raises_on_fault(self):
+        mac = ResidueCheckedMac(M)
+        mac.inject_fault(MacFaultSite.MULTIPLIER, 2)
+        mac.accumulate(CheckedValue.of(5, M), CheckedValue.of(5, M))
+        with pytest.raises(ComputeFaultError):
+            mac.verify_and_read()
+
+    def test_reset(self):
+        mac = ResidueCheckedMac(M)
+        mac.accumulate(CheckedValue.of(2, M), CheckedValue.of(3, M))
+        mac.reset()
+        assert mac.verify_and_read() == 0
+
+    def test_modulus_validation(self):
+        with pytest.raises(ValueError):
+            ResidueCheckedMac(2)
+
+    def test_vector_length_validation(self):
+        with pytest.raises(ValueError):
+            dot_product_with_faults(M, [1], [1, 2])

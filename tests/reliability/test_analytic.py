@@ -1,0 +1,48 @@
+"""Closed-form MSED tests — the exact-match reproduction of Table IV."""
+
+import pytest
+
+from repro.core.codes import muse_80_69, muse_144_132
+from repro.reliability.analytic import (
+    AnalyticMsed,
+    predict,
+    predict_table_iv_muse_row,
+)
+from repro.reliability.monte_carlo import MuseMsedSimulator
+
+PAPER_MUSE_ROW = {0: 99.17, 1: 98.35, 2: 96.70, 3: 93.39, 4: 86.71, 5: 85.03}
+
+
+class TestClosedForm:
+    def test_predicts_paper_table_iv_row_to_published_precision(self):
+        """1 - R/(2(m-1)) matches every published MUSE MSED value to
+        within rounding of the paper's two decimal places."""
+        predicted = predict_table_iv_muse_row()
+        for extra_bits, paper_value in PAPER_MUSE_ROW.items():
+            assert predicted[extra_bits] == pytest.approx(paper_value, abs=0.011), (
+                f"extra={extra_bits}: predicted {predicted[extra_bits]:.3f} "
+                f"vs paper {paper_value}"
+            )
+
+    def test_monte_carlo_agrees_with_closed_form(self):
+        """The simulator and the formula measure the same mechanism."""
+        code = muse_144_132()
+        analytic = predict(code)
+        measured = MuseMsedSimulator(code).run(trials=6000, seed=9)
+        assert measured.msed_percent == pytest.approx(
+            analytic.msed_percent, abs=1.5
+        )
+
+    def test_ripple_ablation_prediction(self):
+        code = muse_80_69()
+        analytic = predict(code)
+        assert analytic.msed_percent_without_ripple < analytic.msed_percent
+        measured = MuseMsedSimulator(code, ripple_check=False).run(4000, seed=9)
+        assert measured.msed_percent == pytest.approx(
+            analytic.msed_percent_without_ripple, abs=2.5
+        )
+
+    def test_dataclass_arithmetic(self):
+        model = AnalyticMsed(m=101, elc_entries=50, ripple_survival=0.5)
+        assert model.miscorrection_rate == pytest.approx(0.25)
+        assert model.msed_rate == pytest.approx(0.75)

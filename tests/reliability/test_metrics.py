@@ -1,0 +1,76 @@
+"""Tests for MSED outcome accounting."""
+
+from repro.reliability.metrics import DesignPoint, MsedResult, MsedTally, TableIV
+
+
+class TestTally:
+    def test_counters_accumulate(self):
+        tally = MsedTally()
+        tally.record_detected_no_match()
+        tally.record_detected_no_match()
+        tally.record_detected_confinement()
+        tally.record_miscorrected()
+        tally.record_silent()
+        result = tally.freeze()
+        assert result.trials == 5
+        assert result.detected == 3
+        assert result.miscorrected == 1
+        assert result.silent == 1
+
+    def test_rates(self):
+        result = MsedResult(
+            trials=200,
+            detected_no_match=150,
+            detected_confinement=30,
+            miscorrected=15,
+            silent=5,
+        )
+        assert result.msed_rate == 0.9
+        assert result.msed_percent == 90.0
+        assert result.miscorrection_rate == 0.075
+        assert result.silent_rate == 0.025
+
+    def test_empty_result_has_zero_rates(self):
+        result = MsedTally().freeze()
+        assert result.msed_rate == 0.0
+        assert result.miscorrection_rate == 0.0
+
+    def test_describe_mentions_all_buckets(self):
+        result = MsedResult(10, 5, 2, 2, 1)
+        text = result.describe()
+        assert "70.00%" in text
+        assert "miscorrected 2" in text
+
+
+class TestTableIV:
+    def _point(self, family, extra, msed_trials=(100, 90)):
+        trials, detected = msed_trials
+        result = MsedResult(trials, detected, 0, trials - detected, 0)
+        return DesignPoint(
+            family=family,
+            extra_bits=extra,
+            label=f"{family}-{extra}",
+            chipkill=family == "MUSE",
+            result=result,
+        )
+
+    def test_row_selection(self):
+        table = TableIV()
+        table.add(self._point("MUSE", 0))
+        table.add(self._point("RS", 0))
+        table.add(self._point("MUSE", 1))
+        assert set(table.row("MUSE")) == {0, 1}
+        assert set(table.row("RS")) == {0}
+
+    def test_render_marks_non_chipkill(self):
+        table = TableIV()
+        table.add(self._point("RS", 4))
+        text = table.render()
+        assert "*" in text
+        assert "ChipKill" in text
+
+    def test_render_shows_missing_cells(self):
+        table = TableIV()
+        table.add(self._point("MUSE", 0))
+        text = table.render()
+        assert "-" in text  # RS row has no entry at column 0

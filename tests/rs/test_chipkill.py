@@ -1,0 +1,47 @@
+"""ChipKill alignment analysis tests (Table IV's 'not practical' rows)."""
+
+import pytest
+
+from repro.rs.chipkill import assess, device_symbol_span, practical_for_dram
+
+
+class TestSpan:
+    def test_aligned_device_in_one_symbol(self):
+        # 8-bit symbols, 4-bit devices: device 1 is bits 4..7 -> symbol 0.
+        assert device_symbol_span(1, 4, 8) == {0}
+        assert device_symbol_span(2, 4, 8) == {1}
+
+    def test_misaligned_device_straddles(self):
+        # 5-bit symbols, x4 devices: device 1 is bits 4..7 -> symbols 0, 1.
+        assert device_symbol_span(1, 4, 5) == {0, 1}
+
+
+class TestAssess:
+    def test_paper_example_5bit_symbols_not_chipkill(self):
+        """Section VII-A: 5-bit-symbol RS over x4 devices loses ChipKill."""
+        verdict = assess(symbol_bits=5, device_bits=4, channel_bits=144)
+        assert not verdict.chipkill
+        assert verdict.symbols_touched == 2
+        assert "multi-symbol" in verdict.explain()
+
+    def test_8bit_symbols_are_chipkill_over_x4(self):
+        verdict = assess(symbol_bits=8, device_bits=4, channel_bits=144)
+        assert verdict.chipkill
+        assert "ChipKill holds" in verdict.explain()
+
+    @pytest.mark.parametrize("b,expected", [(8, True), (7, False), (6, False), (5, False), (4, True)])
+    def test_table_iv_practicality_column(self, b, expected):
+        """Only device-width-multiple symbols keep ChipKill on x4 DIMMs."""
+        verdict = assess(symbol_bits=b, device_bits=4, channel_bits=144)
+        assert verdict.chipkill is expected
+        assert practical_for_dram(b) is expected
+
+    def test_channel_must_be_whole_devices(self):
+        with pytest.raises(ValueError):
+            assess(symbol_bits=8, device_bits=4, channel_bits=142)
+
+    def test_x8_devices(self):
+        # x8 devices with 8-bit symbols: fine; 4-bit symbols: a device
+        # spans two symbols.
+        assert assess(8, 8, 144).chipkill
+        assert not assess(4, 8, 144).chipkill

@@ -1,0 +1,88 @@
+"""Galois-field arithmetic tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rs.gf import PRIMITIVE_POLYNOMIALS, GaloisField, get_field
+
+
+@pytest.fixture(scope="module")
+def gf16():
+    return get_field(4)
+
+
+@pytest.fixture(scope="module")
+def gf256():
+    return get_field(8)
+
+
+class TestTables:
+    @pytest.mark.parametrize("m", sorted(PRIMITIVE_POLYNOMIALS))
+    def test_exp_table_is_a_permutation_of_nonzero(self, m):
+        field = get_field(m)
+        assert sorted(field.exp) == list(range(1, field.size))
+
+    def test_log_exp_inverse(self, gf256):
+        for i in range(gf256.order):
+            assert gf256.log[gf256.exp[i]] == i
+
+    def test_unsupported_size_rejected(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            GaloisField(17)
+
+
+class TestOperations:
+    def test_add_is_xor(self, gf16):
+        assert gf16.add(0b1010, 0b0110) == 0b1100
+
+    def test_mul_identities(self, gf256):
+        for a in (0, 1, 2, 37, 255):
+            assert gf256.mul(a, 0) == 0
+            assert gf256.mul(a, 1) == a
+
+    def test_gf16_known_product(self, gf16):
+        # In GF(16) with x^4+x+1: x * x^3 = x^4 = x + 1 -> 2 * 8 = 3.
+        assert gf16.mul(2, 8) == 3
+
+    @given(a=st.integers(1, 255), b=st.integers(1, 255))
+    @settings(max_examples=200)
+    def test_div_inverts_mul(self, a, b):
+        field = get_field(8)
+        assert field.div(field.mul(a, b), b) == a
+
+    @given(a=st.integers(1, 255))
+    @settings(max_examples=100)
+    def test_inverse(self, a):
+        field = get_field(8)
+        assert field.mul(a, field.inv(a)) == 1
+
+    def test_div_by_zero(self, gf256):
+        with pytest.raises(ZeroDivisionError):
+            gf256.div(5, 0)
+        with pytest.raises(ZeroDivisionError):
+            gf256.inv(0)
+
+    def test_log_of_zero(self, gf256):
+        with pytest.raises(ValueError):
+            gf256.log_alpha(0)
+
+    @given(a=st.integers(1, 15), b=st.integers(1, 15), c=st.integers(1, 15))
+    @settings(max_examples=200)
+    def test_mul_associative_and_distributive(self, a, b, c):
+        field = get_field(4)
+        assert field.mul(field.mul(a, b), c) == field.mul(a, field.mul(b, c))
+        assert field.mul(a, b ^ c) == field.mul(a, b) ^ field.mul(a, c)
+
+    def test_pow_alpha_wraps(self, gf16):
+        assert gf16.pow_alpha(0) == 1
+        assert gf16.pow_alpha(gf16.order) == 1
+        assert gf16.pow_alpha(-1) == gf16.exp[gf16.order - 1]
+
+    def test_poly_eval_horner(self, gf16):
+        # p(x) = x^2 + 3 at x=2: 4 ^ 3 = 7
+        assert gf16.poly_eval([1, 0, 3], 2) == 7
+
+
+class TestCaching:
+    def test_get_field_is_shared(self):
+        assert get_field(8) is get_field(8)

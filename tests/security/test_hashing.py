@@ -1,0 +1,71 @@
+"""Keyed line-hash tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.security.hashing import LineHasher
+
+
+class TestDigest:
+    def test_width_respected(self):
+        hasher = LineHasher(width_bits=40)
+        for value in (0, 1, (1 << 512) - 1):
+            assert hasher.digest(value) < (1 << 40)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            LineHasher(width_bits=0)
+        with pytest.raises(ValueError):
+            LineHasher(width_bits=65)
+
+    def test_negative_line_rejected(self):
+        with pytest.raises(ValueError):
+            LineHasher().digest(-1)
+
+    def test_deterministic(self):
+        hasher = LineHasher()
+        line = random.Random(1).getrandbits(512)
+        assert hasher.digest(line) == hasher.digest(line)
+
+    def test_key_changes_digest(self):
+        line = random.Random(2).getrandbits(512)
+        a = LineHasher(key=1).digest(line)
+        b = LineHasher(key=2).digest(line)
+        assert a != b  # 2^-40 chance of false failure
+
+    @given(line=st.integers(min_value=0, max_value=(1 << 512) - 1),
+           bit=st.integers(min_value=0, max_value=511))
+    @settings(max_examples=200)
+    def test_single_bit_avalanche(self, line, bit):
+        """Any single-bit change must (overwhelmingly) change the digest."""
+        hasher = LineHasher(width_bits=40)
+        assert hasher.digest(line) != hasher.digest(line ^ (1 << bit))
+
+    def test_wide_lines_supported(self):
+        hasher = LineHasher()
+        wide = (1 << 1024) - 1
+        assert hasher.digest(wide) != hasher.digest(wide >> 1)
+
+    def test_matches(self):
+        hasher = LineHasher()
+        line = 0xABCDEF
+        digest = hasher.digest(line)
+        assert hasher.matches(line, digest)
+        assert not hasher.matches(line + 1, digest)
+
+
+class TestUniformity:
+    def test_digest_bits_are_balanced(self):
+        """Each digest bit should be ~50% over random lines."""
+        hasher = LineHasher(width_bits=16)
+        rng = random.Random(3)
+        counts = [0] * 16
+        trials = 4000
+        for _ in range(trials):
+            digest = hasher.digest(rng.getrandbits(512))
+            for bit in range(16):
+                counts[bit] += (digest >> bit) & 1
+        for bit, count in enumerate(counts):
+            assert 0.44 < count / trials < 0.56, f"bit {bit} biased"

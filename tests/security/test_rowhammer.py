@@ -1,0 +1,65 @@
+"""Rowhammer detection tests: the 2^-w escape law."""
+
+import math
+import random
+
+from repro.security.hashing import LineHasher
+from repro.security.rowhammer import (
+    HashedLine,
+    RowhammerAttacker,
+    deployed_detection_probability,
+    escape_rate_sweep,
+    measure_escape_rate,
+)
+
+
+class TestHashedLine:
+    def test_fresh_line_verifies(self):
+        line = HashedLine(LineHasher(), data=0xDEADBEEF)
+        assert line.verify()
+
+    def test_corruption_breaks_verification(self):
+        line = HashedLine(LineHasher(), data=0xDEADBEEF)
+        line.data ^= 1 << 100
+        assert not line.verify()
+
+
+class TestAttacker:
+    def test_attack_flips_requested_bits(self):
+        rng = random.Random(5)
+        line = HashedLine(LineHasher(), data=rng.getrandbits(512))
+        original = line.data
+        outcome = RowhammerAttacker(line_flips=4).attack(line, rng)
+        assert bin(original ^ line.data).count("1") == 4
+        assert len(outcome.flipped_line_bits) == 4
+        assert outcome.corrupted
+
+    def test_typical_attack_is_detected(self):
+        """With a 40-bit hash, 200 attacks should all be caught."""
+        rng = random.Random(6)
+        attacker = RowhammerAttacker()
+        for _ in range(200):
+            line = HashedLine(LineHasher(width_bits=40), rng.getrandbits(512))
+            outcome = attacker.attack(line, rng)
+            assert outcome.detected
+
+
+class TestEscapeLaw:
+    def test_escape_rate_tracks_2_pow_minus_w(self):
+        """Measured escape rates must track the 2^-w law within noise."""
+        for point in escape_rate_sweep(widths=(4, 6, 8), attempts_per_width=60_000):
+            expected = point.expected_rate
+            # Binomial noise: allow a generous multiplicative band.
+            assert 0.4 * expected < point.escape_rate < 2.5 * expected, (
+                f"width {point.width_bits}: measured {point.escape_rate}, "
+                f"expected {expected}"
+            )
+
+    def test_escape_rate_monotone_in_width(self):
+        small = measure_escape_rate(4, attempts=40_000)
+        large = measure_escape_rate(10, attempts=40_000)
+        assert small.escape_rate > large.escape_rate
+
+    def test_deployed_probability_is_paper_value(self):
+        p = deployed_detection_probability(40)
+        assert math.isclose(1.0 - p, 2.0**-40)

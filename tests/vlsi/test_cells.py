@@ -1,0 +1,35 @@
+"""Cell-library and clock-cycle computation tests."""
+
+from repro.vlsi.cells import CLOCK_PERIOD_NS, NANGATE15, cycles_for
+
+
+class TestClock:
+    def test_clock_period_is_2400mhz(self):
+        assert abs(CLOCK_PERIOD_NS - 0.41667) < 1e-3
+
+    def test_cycles_for_paper_latencies(self):
+        """Table V gem5 columns: 1.129ns -> 3 cycles; 0.219ns -> 1."""
+        assert cycles_for(1.129) == 3
+        assert cycles_for(1.048) == 3
+        assert cycles_for(0.219) == 1
+        assert cycles_for(0.376) == 1
+
+    def test_cycle_boundaries(self):
+        assert cycles_for(0.0) == 0
+        assert cycles_for(CLOCK_PERIOD_NS) == 1
+        assert cycles_for(CLOCK_PERIOD_NS + 1e-6) == 2
+
+
+class TestLibrary:
+    def test_fa_is_two_xor(self):
+        assert NANGATE15.fa_delay() == 2 * NANGATE15.xor2_delay
+
+    def test_cpa_grows_logarithmically(self):
+        lib = NANGATE15
+        assert lib.cpa_delay(1) == lib.xor2_delay
+        assert lib.cpa_delay(64) < lib.cpa_delay(256)
+        # doubling width adds exactly one prefix level
+        assert (
+            lib.cpa_delay(256) - lib.cpa_delay(128)
+            == lib.cpa_level_factor * lib.xor2_delay
+        )
