@@ -15,6 +15,9 @@ Subpackages
     Reed-Solomon ChipKill baseline over GF(2^m).
 ``repro.memory``
     DRAM geometry, codeword striping/shuffle routing, fault injection.
+``repro.engine``
+    Pluggable batch decode engines: the scalar big-int reference and a
+    vectorised numpy backend over ``(batch, limbs)`` uint64 codewords.
 ``repro.reliability``
     Monte-Carlo multi-symbol error detection simulator (Table IV).
 ``repro.vlsi``

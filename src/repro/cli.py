@@ -76,6 +76,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="small trial counts and traces for a fast preview",
     )
+    parser.add_argument(
+        "--backend", choices=["auto", "scalar", "numpy"], default="auto",
+        help=(
+            "decode engine for the Monte-Carlo experiments: 'numpy' "
+            "vectorises batches of codewords, 'scalar' is the big-int "
+            "reference path, 'auto' picks numpy when available "
+            "(table4, ablations, extension-double-device)"
+        ),
+    )
     return parser
 
 
@@ -85,19 +94,27 @@ def run(args: argparse.Namespace) -> int:
     attempts = FAST_SETTINGS["attempts"] if args.quick else args.attempts
     benchmarks = FAST_SETTINGS["benchmarks"] if args.quick else args.benchmarks
 
+    backend = args.backend
+
     dispatch = {
         "table1": lambda: table1.main(),
         "figure1b": lambda: figure1b.main(),
         "table3": lambda: table3.main(),
-        "table4": lambda: table4.main(trials=trials),
+        "table4": lambda: table4.main(trials=trials, backend=backend),
         "table5": lambda: table5.main(),
         "figure6": lambda: figure6.main(mem_ops=mem_ops, benchmarks=benchmarks),
         "figure7": lambda: figure7.main(mem_ops=mem_ops, benchmarks=benchmarks),
         "rowhammer": lambda: rowhammer.main(attempts=attempts),
         "pim": lambda: pim.main(),
-        "ablation-shuffle": lambda: ablation_shuffle.main(),
-        "ablation-frontier": lambda: ablation_frontier.main(trials=trials),
-        "extension-double-device": lambda: extension_double_device.main(),
+        "ablation-shuffle": lambda: ablation_shuffle.main(
+            trials=trials, backend=backend
+        ),
+        "ablation-frontier": lambda: ablation_frontier.main(
+            trials=trials, backend=backend
+        ),
+        "extension-double-device": lambda: extension_double_device.main(
+            backend=backend
+        ),
     }
     if args.experiment == "all":
         for name, runner in dispatch.items():

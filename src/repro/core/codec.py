@@ -181,6 +181,12 @@ class MuseCode:
         Exists for the ablation quantifying how much of the
         multi-symbol detection rate the ripple check contributes
         (DESIGN.md Section 7).
+
+        Without the range detector the corrector is just an n-bit
+        adder, so a correction that would over- or underflow wraps
+        modulo ``2^n`` — the delivered word is the wrapped adder
+        output, and the data field is its top ``k`` bits, exactly as
+        in :meth:`decode` (which instead rejects such words).
         """
         remainder = codeword % self.m
         if remainder == 0:
@@ -193,13 +199,37 @@ class MuseCode:
                 codeword,
                 reason=DetectionReason.REMAINDER_NOT_FOUND,
             )
-        corrected = codeword - entry.error_value
+        corrected = (codeword - entry.error_value) & ((1 << self.n) - 1)
         return DecodeResult(
             DecodeStatus.CORRECTED,
-            (corrected >> self.r) & ((1 << self.k) - 1),
+            corrected >> self.r,
             corrected,
             error_value=entry.error_value,
         )
+
+    # ------------------------------------------------------------------
+    # Batch paths (delegated to the pluggable decode engines)
+    # ------------------------------------------------------------------
+
+    def engine(self, backend: str = "auto", ripple_check: bool = True):
+        """The cached :class:`~repro.engine.base.DecodeEngine` for this
+        code on ``backend`` ("scalar", "numpy" or "auto")."""
+        from repro.engine import get_engine
+
+        return get_engine(self, backend, ripple_check=ripple_check)
+
+    def encode_batch(self, data, backend: str = "auto") -> list[int]:
+        """Systematically encode a batch of data words."""
+        return self.engine(backend).encode_batch(data)
+
+    def decode_batch(self, codewords, backend: str = "auto"):
+        """Run Figure 4 over a batch of received words.
+
+        Returns a :class:`~repro.engine.base.BatchDecodeResult`; use its
+        ``counts()`` for tallies or ``results()`` for per-word
+        :class:`DecodeResult` objects identical to :meth:`decode`'s.
+        """
+        return self.engine(backend).decode_batch(codewords)
 
     # ------------------------------------------------------------------
     # Storage accounting (the paper's headline metric)

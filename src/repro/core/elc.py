@@ -79,6 +79,11 @@ class ErrorLookupCircuit:
         """Return the matching entry, or None (uncorrectable signal)."""
         return self._table.get(remainder)
 
+    def entries(self):
+        """Iterate every CAM entry (the decode engines build dense
+        remainder-indexed tables from this)."""
+        return iter(self._table.values())
+
     def __contains__(self, remainder: int) -> bool:
         return remainder in self._table
 

@@ -1,0 +1,107 @@
+"""Pluggable batch decode engines (scalar big-int vs vectorised numpy).
+
+Entry points:
+
+* :func:`get_engine` — resolve a backend name ("scalar", "numpy" or
+  "auto") into a cached :class:`DecodeEngine` for one code.
+* :func:`msed_corruption_batch` — vectorised Monte-Carlo corruption
+  generation shared by both backends (:mod:`repro.engine.trials`).
+* :func:`numpy_available` / :func:`available_backends` — capability
+  probes for callers that gate features or skip tests.
+
+The scalar backend is always available; the numpy backend (and the bulk
+trial generator) degrade gracefully when numpy is not installed by
+raising :class:`BackendUnavailableError`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engine.base import (
+    BackendUnavailableError,
+    BatchDecodeResult,
+    DecodeEngine,
+    STATUS_CLEAN,
+    STATUS_CORRECTED,
+    STATUS_DETECTED_NO_MATCH,
+    STATUS_DETECTED_RIPPLE,
+    STATUS_NAMES,
+    status_of,
+)
+from repro.engine.trials import msed_corruption_batch
+
+if TYPE_CHECKING:
+    from repro.core.codec import MuseCode
+
+BACKENDS = ("scalar", "numpy")
+
+
+def numpy_available() -> bool:
+    """True when the vectorised backend's dependency is importable."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def available_backends() -> tuple[str, ...]:
+    """The backends that can actually run in this environment."""
+    return BACKENDS if numpy_available() else ("scalar",)
+
+
+def resolve_backend(backend: str = "auto") -> str:
+    """Normalise a backend request; "auto" prefers numpy when present."""
+    if backend == "auto":
+        return "numpy" if numpy_available() else "scalar"
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if backend == "numpy" and not numpy_available():
+        raise BackendUnavailableError("numpy backend requested but numpy is missing")
+    return backend
+
+
+def get_engine(
+    code: "MuseCode", backend: str = "auto", ripple_check: bool = True
+) -> DecodeEngine:
+    """Build (or fetch the cached) engine binding ``code`` to a backend.
+
+    Engines precompute dense lookup tables from the code's ELC and
+    layout, so they are cached per ``(backend, ripple_check)`` on the
+    code instance.
+    """
+    name = resolve_backend(backend)
+    cache = code.__dict__.setdefault("_engine_cache", {})
+    key = (name, ripple_check)
+    engine = cache.get(key)
+    if engine is None:
+        if name == "numpy":
+            from repro.engine.numpy_backend import NumpyDecodeEngine
+
+            engine = NumpyDecodeEngine(code, ripple_check)
+        else:
+            from repro.engine.scalar import ScalarDecodeEngine
+
+            engine = ScalarDecodeEngine(code, ripple_check)
+        cache[key] = engine
+    return engine
+
+
+__all__ = [
+    "BACKENDS",
+    "BackendUnavailableError",
+    "BatchDecodeResult",
+    "DecodeEngine",
+    "STATUS_CLEAN",
+    "STATUS_CORRECTED",
+    "STATUS_DETECTED_NO_MATCH",
+    "STATUS_DETECTED_RIPPLE",
+    "STATUS_NAMES",
+    "available_backends",
+    "get_engine",
+    "msed_corruption_batch",
+    "numpy_available",
+    "resolve_backend",
+    "status_of",
+]

@@ -1,0 +1,61 @@
+"""Bulk Monte-Carlo trial generation for the MSED studies.
+
+The corruption stream is generated *once*, vectorised, independent of
+which backend later decodes it: random data words are encoded in limb
+form, ``k`` distinct symbols per word are chosen, and each chosen
+symbol is overwritten with a uniform value different from its original.
+Both backends then classify the *same* corrupted words, which is what
+makes scalar-vs-numpy tallies byte-identical under a fixed seed.
+
+Requires numpy (it is the generator, not a decoder); callers fall back
+to the sequential :class:`random.Random` path when it is absent.
+"""
+
+from __future__ import annotations
+
+from repro.engine.base import BackendUnavailableError
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None
+
+
+def msed_corruption_batch(code, trials: int, seed: int, k_symbols: int = 2):
+    """Encode ``trials`` random words and corrupt ``k_symbols`` each.
+
+    Returns a ``(trials, limbs)`` uint64 batch of corrupted codewords,
+    consumable by any :class:`~repro.engine.base.DecodeEngine`.
+    """
+    if np is None:
+        raise BackendUnavailableError("numpy is required for bulk trial generation")
+    from repro.engine import get_engine
+    from repro.engine.numpy_backend import extract_symbol_batch, insert_symbol_batch
+
+    layout = code.layout
+    if not 1 <= k_symbols <= layout.symbol_count:
+        raise ValueError(
+            f"k_symbols must be in [1, {layout.symbol_count}], got {k_symbols}"
+        )
+    engine = get_engine(code, "numpy")
+    rng = np.random.default_rng(seed)
+    words = engine.encode_limbs(engine.random_data_batch(rng, trials))
+
+    # k distinct symbols per row: the k smallest of S iid uniforms.
+    scores = rng.random((trials, layout.symbol_count))
+    chosen = np.argpartition(scores, k_symbols - 1, axis=1)[:, :k_symbols]
+
+    for slot in range(k_symbols):
+        slot_symbols = chosen[:, slot]
+        for index in range(layout.symbol_count):
+            rows = np.flatnonzero(slot_symbols == index)
+            if rows.size == 0:
+                continue
+            width = len(layout.symbols[index])
+            original = extract_symbol_batch(words[rows], layout, index)
+            # Uniform over the 2^w - 1 values != original: draw from a
+            # range one short and step over the original.
+            draw = rng.integers(0, (1 << width) - 1, size=rows.size, dtype=np.uint64)
+            value = draw + (draw >= original).astype(np.uint64)
+            insert_symbol_batch(words, layout, index, value, rows)
+    return words

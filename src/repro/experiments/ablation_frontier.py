@@ -30,12 +30,16 @@ class FrontierPoint:
     msed_without_ripple: float
 
 
-def frontier(trials: int = 4000, seed: int = 5) -> list[FrontierPoint]:
+def frontier(
+    trials: int = 4000, seed: int = 5, backend: str = "auto"
+) -> list[FrontierPoint]:
     points = []
     for extra_bits in range(0, 6):
         code = muse_design_point(extra_bits)
-        full = MuseMsedSimulator(code).run(trials, seed)
-        ablated = MuseMsedSimulator(code, ripple_check=False).run(trials, seed)
+        full = MuseMsedSimulator(code, backend=backend).run(trials, seed)
+        ablated = MuseMsedSimulator(
+            code, ripple_check=False, backend=backend
+        ).run(trials, seed)
         points.append(
             FrontierPoint(
                 extra_bits=extra_bits,
@@ -54,12 +58,16 @@ class KSweepPoint:
     rs_msed: float
 
 
-def k_sweep(trials: int = 4000, seed: int = 5) -> list[KSweepPoint]:
+def k_sweep(
+    trials: int = 4000, seed: int = 5, backend: str = "auto"
+) -> list[KSweepPoint]:
     from repro.core.codes import muse_144_132
 
     points = []
     for k in (2, 3, 4, 5):
-        muse = MuseMsedSimulator(muse_144_132(), k_symbols=k).run(trials, seed)
+        muse = MuseMsedSimulator(
+            muse_144_132(), k_symbols=k, backend=backend
+        ).run(trials, seed)
         rs = RsMsedSimulator(rs_144_128(), k_symbols=k).run(trials, seed)
         points.append(
             KSweepPoint(k=k, muse_msed=muse.msed_percent, rs_msed=rs.msed_percent)
@@ -90,8 +98,10 @@ def render(
     return "\n".join(lines)
 
 
-def main(trials: int = 4000) -> str:
-    report = render(frontier(trials), k_sweep(trials))
+def main(trials: int = 4000, backend: str = "auto") -> str:
+    report = render(
+        frontier(trials, backend=backend), k_sweep(trials, backend=backend)
+    )
     print(report)
     return report
 

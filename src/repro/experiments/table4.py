@@ -36,8 +36,18 @@ def render(table: TableIV) -> str:
     return "\n".join(lines)
 
 
-def main(trials: int = 10_000, seed: int = 2022, rs_device_policy: bool = True) -> str:
-    table = build_table_iv(trials=trials, seed=seed, rs_device_policy=rs_device_policy)
+def main(
+    trials: int = 10_000,
+    seed: int = 2022,
+    rs_device_policy: bool = True,
+    backend: str = "auto",
+) -> str:
+    table = build_table_iv(
+        trials=trials,
+        seed=seed,
+        rs_device_policy=rs_device_policy,
+        backend=backend,
+    )
     report = render(table)
     print(report)
     return report

@@ -44,6 +44,22 @@ class MsedTally:
         self.trials += 1
         self.silent += 1
 
+    def record_counts(
+        self,
+        *,
+        detected_no_match: int = 0,
+        detected_confinement: int = 0,
+        miscorrected: int = 0,
+        silent: int = 0,
+    ) -> None:
+        """Fold a whole batch of classified outcomes in at once (the
+        batch decode engines tally per-status counts, not per-trial)."""
+        self.trials += detected_no_match + detected_confinement + miscorrected + silent
+        self.detected_no_match += detected_no_match
+        self.detected_confinement += detected_confinement
+        self.miscorrected += miscorrected
+        self.silent += silent
+
     def freeze(self) -> "MsedResult":
         return MsedResult(
             trials=self.trials,

@@ -22,11 +22,17 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.core.codec import DecodeStatus, DetectionReason, MuseCode
 from repro.core.error_model import SymbolErrorModel
 from repro.core.search import MultiplierSearch
 from repro.core.symbols import SymbolLayout
+from repro.engine import (
+    BackendUnavailableError,
+    get_engine,
+    msed_corruption_batch,
+)
 from repro.reliability.metrics import (
     DesignPoint,
     MsedResult,
@@ -39,13 +45,52 @@ from repro.rs.reed_solomon import RSCode, RSDecodeStatus, rs_for_channel
 
 @dataclass
 class MuseMsedSimulator:
-    """Inject k-symbol errors into a MUSE code and classify outcomes."""
+    """Inject k-symbol errors into a MUSE code and classify outcomes.
+
+    Corruptions are generated in bulk by
+    :func:`repro.engine.msed_corruption_batch` and classified from one
+    vectorised batch decode.  ``backend`` selects the decode engine
+    ("scalar", "numpy" or "auto"); the sampled trial stream does not
+    depend on it, so the tallies of a fixed ``(trials, seed)`` run are
+    byte-identical across backends — the cross-backend equivalence the
+    engine tests and benchmarks pin.
+
+    Without numpy the simulator transparently falls back to the
+    sequential big-int path (whose :class:`random.Random` stream
+    differs from the vectorised generator's).
+    """
 
     code: MuseCode
     k_symbols: int = 2
     ripple_check: bool = True
+    backend: str = "auto"
 
     def run(self, trials: int = 10_000, seed: int = 2022) -> MsedResult:
+        try:
+            words = msed_corruption_batch(self.code, trials, seed, self.k_symbols)
+            engine = get_engine(
+                self.code, self.backend, ripple_check=self.ripple_check
+            )
+        except BackendUnavailableError:
+            if self.backend == "numpy":
+                raise  # an explicit request must not silently degrade
+            return self._run_sequential(trials, seed)
+        clean, corrected, no_match, ripple = engine.decode_batch(words).counts()
+        tally = MsedTally()
+        # k >= 2 symbols were corrupted, so a delivered word is never
+        # the original: CLEAN means the corruption aliased to a valid
+        # codeword (silent), CORRECTED means a single-symbol
+        # miscorrection.
+        tally.record_counts(
+            silent=clean,
+            miscorrected=corrected,
+            detected_no_match=no_match,
+            detected_confinement=ripple,
+        )
+        return tally.freeze()
+
+    def _run_sequential(self, trials: int, seed: int) -> MsedResult:
+        """Numpy-free fallback: the original one-word-at-a-time loop."""
         rng = random.Random(seed)
         code = self.code
         layout = code.layout
@@ -61,8 +106,6 @@ class MuseMsedSimulator:
             if result.status is DecodeStatus.CLEAN:
                 tally.record_silent()
             elif result.status is DecodeStatus.CORRECTED:
-                # k >= 2 symbols were corrupted; a single-symbol
-                # "correction" can never restore the original word.
                 tally.record_miscorrected()
             elif result.reason is DetectionReason.REMAINDER_NOT_FOUND:
                 tally.record_detected_no_match()
@@ -167,30 +210,31 @@ class RsMsedSimulator:
 # Table IV assembly
 # ----------------------------------------------------------------------
 
-#: Largest valid multipliers for the 144-bit C4B model per redundancy,
-#: found by MultiplierSearch.run_descending (verified in tests); cached
-#: here because the r=15/16 descending searches cost a few seconds.
-LARGEST_144_MULTIPLIER: dict[int, int] = {
+#: Largest valid multipliers for the 144-bit C4B model at the two
+#: redundancies the paper publishes (verified in tests).  Immutable:
+#: lazily-discovered values live in the lru_cache below, never here, so
+#: concurrent or batched callers can't observe a half-filled table.
+PAPER_144_MULTIPLIERS = {
     16: 65519,  # the paper's MUSE(144,128) pick
-    15: 0,      # filled lazily
-    14: 0,
-    13: 0,
     12: 4065,   # the paper's MUSE(144,132) pick
 }
 
 
+@lru_cache(maxsize=None)
 def largest_144_multiplier(r: int) -> int:
-    """Largest valid multiplier for the 144-bit C4B model at budget r."""
-    cached = LARGEST_144_MULTIPLIER.get(r, 0)
-    if cached:
-        return cached
+    """Largest valid multiplier for the 144-bit C4B model at budget r.
+
+    Memoised because the r=15/16 descending searches cost a few
+    seconds; the published picks short-circuit the search entirely.
+    """
+    known = PAPER_144_MULTIPLIERS.get(r)
+    if known is not None:
+        return known
     model = SymbolErrorModel(SymbolLayout.sequential(144, 4))
     result = MultiplierSearch(model, r).run_descending(stop_after=1)
     if not result.found:
         raise LookupError(f"no valid multiplier for r={r}")
-    multiplier = result.multipliers[-1]
-    LARGEST_144_MULTIPLIER[r] = multiplier
-    return multiplier
+    return result.multipliers[-1]
 
 
 def muse_design_point(extra_bits: int) -> MuseCode:
@@ -227,12 +271,19 @@ def build_table_iv(
     seed: int = 2022,
     k_symbols: int = 2,
     rs_device_policy: bool = True,
+    backend: str = "auto",
 ) -> TableIV:
-    """Run every design point and assemble the paper's Table IV."""
+    """Run every design point and assemble the paper's Table IV.
+
+    ``backend`` selects the MUSE decode engine; the tallies are
+    backend-independent for a fixed seed (the RS decoder is scalar
+    either way).
+    """
     table = TableIV()
     for extra_bits in range(0, 6):
         code = muse_design_point(extra_bits)
-        result = MuseMsedSimulator(code, k_symbols=k_symbols).run(trials, seed)
+        simulator = MuseMsedSimulator(code, k_symbols=k_symbols, backend=backend)
+        result = simulator.run(trials, seed)
         table.add(
             DesignPoint(
                 family="MUSE",

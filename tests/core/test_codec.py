@@ -242,6 +242,76 @@ class TestDetection:
         assert full > ablated
 
 
+class TestNoRippleWrapSemantics:
+    """decode vs decode_without_ripple_check on the same corrupted words.
+
+    The ablation decoder models an n-bit adder with no range detector:
+    a correction that would underflow (corrected < 0) or overflow
+    (corrected >= 2^n) wraps modulo 2^n and is *delivered*, where the
+    full decoder detects.  Regression for the former behaviour of
+    arithmetic-shifting a negative big int and masking the data field.
+    """
+
+    @staticmethod
+    def underflowing_word(code):
+        """A received word whose ELC hit implies corrected < 0."""
+        entry = max(
+            (e for e in code.elc.entries() if e.sign > 0),
+            key=lambda e: e.magnitude,
+        )
+        # encode(0) has only the small check value X set; adding the
+        # entry's remainder reproduces its fingerprint while keeping
+        # the word far below the error value itself.
+        word = code.encode(0) + entry.remainder
+        assert word < entry.error_value
+        return word, entry
+
+    def test_full_decoder_detects_underflow(self):
+        code = muse_80_69()
+        word, _ = self.underflowing_word(code)
+        result = code.decode(word)
+        assert result.status is DecodeStatus.DETECTED
+        assert result.reason is DetectionReason.SYMBOL_OVERFLOW
+
+    def test_ablation_decoder_wraps_underflow_into_n_bits(self):
+        code = muse_80_69()
+        word, entry = self.underflowing_word(code)
+        result = code.decode_without_ripple_check(word)
+        assert result.status is DecodeStatus.CORRECTED
+        wrapped = (word - entry.error_value) & ((1 << code.n) - 1)
+        assert result.codeword == wrapped
+        assert result.data == wrapped >> code.r
+        assert 0 <= result.data < (1 << code.k)
+
+    def test_paths_agree_when_correction_is_in_range(self):
+        """On genuinely correctable words the two decoders coincide."""
+        code = muse_80_69()
+        rng = random.Random(17)
+        for _ in range(100):
+            data = rng.randrange(1 << code.k)
+            word = code.encode(data)
+            index = rng.randrange(code.layout.symbol_count)
+            original = code.layout.extract_symbol(word, index)
+            bad = code.layout.insert_symbol(word, index, original ^ 0x5)
+            assert code.decode(bad) == code.decode_without_ripple_check(bad)
+
+    def test_batch_engines_match_scalar_on_underflow_words(self):
+        from repro.engine import available_backends
+
+        code = muse_80_69()
+        word, _ = self.underflowing_word(code)
+        words = [word, code.encode(123)]
+        for backend in available_backends():
+            for ripple in (True, False):
+                scalar_fn = (
+                    code.decode if ripple else code.decode_without_ripple_check
+                )
+                batch = code.engine(backend, ripple_check=ripple).decode_batch(
+                    words
+                )
+                assert batch.results() == [scalar_fn(w) for w in words]
+
+
 class TestSpareBits:
     def test_paper_spare_bit_claims(self):
         """Section VI-A: MUSE(80,69) leaves 5 bits over a 64-bit payload;

@@ -39,6 +39,14 @@ class TestRunners:
         assert r13.sequential_found == 0
         assert r13.shuffled_found == 1
 
+    def test_ablation_shuffle_msed_covers_all_80bit_codes(self):
+        rows = ablation_shuffle.msed_sweep(trials=600, seed=2)
+        assert [r.code_name for r in rows] == [
+            "MUSE(80,69)", "MUSE(80,67)", "MUSE(80,70)",
+        ]
+        assert [r.layout for r in rows] == ["sequential", "shuffled", "shuffled"]
+        assert all(0.0 < r.msed_percent <= 100.0 for r in rows)
+
 
 class TestCli:
     def test_parser_accepts_known_experiments(self):
@@ -50,6 +58,14 @@ class TestCli:
         parser = build_parser()
         with pytest.raises(SystemExit):
             parser.parse_args(["table99"])
+
+    def test_backend_flag_parses_and_defaults_to_auto(self):
+        parser = build_parser()
+        assert parser.parse_args(["table4"]).backend == "auto"
+        args = parser.parse_args(["table4", "--backend", "scalar"])
+        assert args.backend == "scalar"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["table4", "--backend", "cuda"])
 
     def test_run_quick_experiment(self, capsys):
         parser = build_parser()

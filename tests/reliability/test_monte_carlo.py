@@ -21,6 +21,31 @@ class TestMuseSimulator:
         second = simulator.run(trials=500, seed=7)
         assert first == second
 
+    def test_backends_produce_identical_tallies(self):
+        """Same (trials, seed) -> byte-identical MsedResult on both
+        backends: generation is shared, only the decoder differs."""
+        from repro.engine import available_backends
+
+        if "numpy" not in available_backends():
+            pytest.skip("numpy backend unavailable")
+        for code in (muse_80_69(), muse_144_132()):
+            for ripple in (True, False):
+                scalar = MuseMsedSimulator(
+                    code, ripple_check=ripple, backend="scalar"
+                ).run(trials=1200, seed=2022)
+                vector = MuseMsedSimulator(
+                    code, ripple_check=ripple, backend="numpy"
+                ).run(trials=1200, seed=2022)
+                assert scalar == vector
+
+    def test_sequential_fallback_matches_buckets_invariant(self):
+        """The numpy-free path still partitions every trial."""
+        simulator = MuseMsedSimulator(muse_80_69())
+        result = simulator._run_sequential(trials=400, seed=3)
+        assert (
+            result.detected + result.miscorrected + result.silent == result.trials
+        )
+
     def test_buckets_partition_trials(self):
         result = MuseMsedSimulator(muse_80_69()).run(trials=800, seed=1)
         assert (
