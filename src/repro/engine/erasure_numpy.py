@@ -1,0 +1,123 @@
+"""Vectorised known-location (erasure) decoding over limb batches.
+
+The scalar :class:`~repro.core.erasure.ErasureDecoder` solves
+``d * 2^offset == remainder (mod m)`` one word at a time.  For a batch
+of words that share one erasure window the whole flow vectorises:
+
+1. limb-wise residue (:func:`repro.engine.limbs.residue`);
+2. one modular multiply by the precomputed ``(2^offset)^-1 mod m``
+   recovers the centered error magnitude ``d`` per word;
+3. the correction ``codeword - d * 2^offset`` is a wrapping multi-limb
+   add/sub whose over- and underflow surface as set bits above ``n``
+   (the same headroom trick the MUSE decode engine uses);
+4. the residue-of-corrected, window-leak, and magnitude-bound checks
+   are elementwise mask tests.
+
+Words with *different* windows are grouped by the caller
+(:meth:`ErasureDecoder.decode_batch`); a Table-IV-scale double-device
+sweep has at most ``symbol_count - 1`` distinct windows, so grouping
+costs nothing against the per-word decode it replaces.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.engine.limbs import (
+    add,
+    int_to_limb_row,
+    ints_to_limbs,
+    limb_count,
+    limbs_to_ints,
+    residue,
+    sub,
+)
+
+if TYPE_CHECKING:
+    from repro.core.codec import DecodeResult, MuseCode
+    from repro.core.erasure import ErasureWindow
+
+
+def erasure_decode_window_batch(
+    code: "MuseCode", codewords: Sequence[int], window: "ErasureWindow"
+) -> list["DecodeResult"]:
+    """Erasure-decode many words sharing one window; scalar-identical.
+
+    Returns one :class:`DecodeResult` per word, equal to what
+    :meth:`ErasureDecoder.decode` produces (the caller validates the
+    window and the multiplier floor).
+    """
+    from repro.core.codec import DecodeResult, DecodeStatus
+
+    m = code.m
+    limbs = limb_count(code.n)
+    width_bits = 64 * limbs
+    batch = ints_to_limbs(list(codewords), limbs)
+    rem = residue(batch, m)
+
+    # Solve d * 2^offset == remainder (mod m) for the centered d.
+    inv_shift = pow(1 << window.offset, -1, m)
+    d = ((rem * np.uint64(inv_shift)) % np.uint64(m)).astype(np.int64)
+    d = np.where(d > m - d, d - m, d)
+    feasible = np.abs(d) <= window.max_magnitude
+
+    # Correction value |d| << offset as limb rows (at most two limbs).
+    magnitude = np.abs(d).astype(np.uint64)
+    limb_index, bit = divmod(window.offset, 64)
+    correction = np.zeros_like(batch)
+    correction[:, limb_index] = magnitude << np.uint64(bit)
+    if bit and limb_index + 1 < limbs:
+        correction[:, limb_index + 1] = magnitude >> np.uint64(64 - bit)
+    negative = (d < 0)[:, None]
+    fixed = np.where(negative, add(batch, correction), sub(batch, correction))
+
+    # The three scalar checks, vectorised: range (over/underflow bits
+    # land above n), residue of the corrected word, and window leakage.
+    above_mask = int_to_limb_row(
+        ((1 << width_bits) - 1) ^ ((1 << code.n) - 1), limbs
+    )
+    out_of_range = np.any((fixed & above_mask) != 0, axis=1)
+    bad_residue = residue(fixed, m) != 0
+    window_mask = ((1 << window.width) - 1) << window.offset
+    outside_mask = int_to_limb_row(
+        ((1 << width_bits) - 1) ^ window_mask, limbs
+    )
+    changed = fixed ^ batch
+    leaked = np.any((changed & outside_mask) != 0, axis=1)
+
+    clean = rem == 0
+    corrected_ok = ~clean & feasible & ~out_of_range & ~bad_residue & ~leaked
+
+    received = list(codewords)
+    corrected_ints = limbs_to_ints(fixed)
+    d_list = d.tolist()
+    results: list[DecodeResult] = []
+    for i in range(len(received)):
+        if clean[i]:
+            results.append(
+                DecodeResult(
+                    status=DecodeStatus.CLEAN,
+                    data=received[i] >> code.r,
+                    codeword=received[i],
+                )
+            )
+        elif corrected_ok[i]:
+            results.append(
+                DecodeResult(
+                    status=DecodeStatus.CORRECTED,
+                    data=corrected_ints[i] >> code.r,
+                    codeword=corrected_ints[i],
+                    error_value=d_list[i] << window.offset,
+                )
+            )
+        else:
+            results.append(
+                DecodeResult(
+                    status=DecodeStatus.DETECTED,
+                    data=None,
+                    codeword=received[i],
+                )
+            )
+    return results

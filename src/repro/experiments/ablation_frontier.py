@@ -68,7 +68,9 @@ def k_sweep(
         muse = MuseMsedSimulator(
             muse_144_132(), k_symbols=k, backend=backend
         ).run(trials, seed)
-        rs = RsMsedSimulator(rs_144_128(), k_symbols=k).run(trials, seed)
+        rs = RsMsedSimulator(rs_144_128(), k_symbols=k, backend=backend).run(
+            trials, seed
+        )
         points.append(
             KSweepPoint(k=k, muse_msed=muse.msed_percent, rs_msed=rs.msed_percent)
         )

@@ -79,21 +79,25 @@ def run(trials: int = 400, seed: int = 13, backend: str = "auto") -> DoubleDevic
     code = build_r15_ssc_code()
     decoder = ErasureDecoder(code)
     rng = random.Random(seed)
-    # Bulk-generate the trial set and encode it in one engine batch;
-    # the known-location erasure decode itself has no batch form yet.
+    # Bulk-generate the trial set, encode it in one engine batch, and
+    # erasure-decode it in one batch too: words sharing an erased pair
+    # are grouped and run through the vectorised limb path.
     datas = [rng.randrange(1 << code.k) for _ in range(trials)]
     firsts = [rng.randrange(code.layout.symbol_count - 1) for _ in range(trials)]
     values = [(rng.randrange(16), rng.randrange(16)) for _ in range(trials)]
     codewords = code.encode_batch(datas, backend=backend)
-    recovered = 0
-    for data, codeword, first, pair_values in zip(datas, codewords, firsts, values):
-        pair = (first, first + 1)  # two consecutive devices
-        corrupted = codeword
+    pairs = [(first, first + 1) for first in firsts]  # consecutive devices
+    corrupted = []
+    for codeword, pair, pair_values in zip(codewords, pairs, values):
         for symbol, value in zip(pair, pair_values):
-            corrupted = code.layout.insert_symbol(corrupted, symbol, value)
-        result = decoder.decode(corrupted, pair)
-        if result.status is not DecodeStatus.DETECTED and result.data == data:
-            recovered += 1
+            codeword = code.layout.insert_symbol(codeword, symbol, value)
+        corrupted.append(codeword)
+    results = decoder.decode_batch(corrupted, pairs, backend=backend)
+    recovered = sum(
+        1
+        for data, result in zip(datas, results)
+        if result.status is not DecodeStatus.DETECTED and result.data == data
+    )
     return DoubleDeviceResult(
         r15_unknown_location=unknown_location_search(15),
         r16_unknown_location=unknown_location_search(16),

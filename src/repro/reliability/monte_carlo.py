@@ -40,6 +40,11 @@ from repro.reliability.metrics import (
     TableIV,
 )
 from repro.rs.chipkill import assess
+from repro.rs.engine import (
+    device_confined,
+    get_rs_engine,
+    rs_msed_corruption_batch,
+)
 from repro.rs.reed_solomon import RSCode, RSDecodeStatus, rs_for_channel
 
 
@@ -134,13 +139,49 @@ class RsMsedSimulator:
 
     ``device_bits`` enables the device-confinement decode policy
     (defaults to x4, matching the paper's DIMMs); ``None`` disables it.
+    Like :class:`MuseMsedSimulator`, corruptions come from one shared
+    vectorised generator (:func:`repro.rs.engine.rs_msed_corruption_batch`)
+    and ``backend`` only selects the decode engine, so the tallies of a
+    fixed ``(trials, seed)`` run are byte-identical across backends.
+    Without numpy the simulator falls back to the sequential path
+    (whose :class:`random.Random` stream differs from the vectorised
+    generator's).
     """
 
     code: RSCode
     k_symbols: int = 2
     device_bits: int | None = 4
+    backend: str = "auto"
 
     def run(self, trials: int = 10_000, seed: int = 2022) -> MsedResult:
+        try:
+            words = rs_msed_corruption_batch(
+                self.code, trials, seed, self.k_symbols
+            )
+            engine = get_rs_engine(
+                self.code, self.backend, device_bits=self.device_bits
+            )
+        except BackendUnavailableError:
+            if self.backend == "numpy":
+                raise  # an explicit request must not silently degrade
+            return self._run_sequential(trials, seed)
+        clean, corrected, no_match, confinement = engine.decode_batch(
+            words
+        ).counts()
+        tally = MsedTally()
+        # k >= 2 corrupted symbols: CLEAN means the corruption aliased
+        # to a valid codeword (silent), CORRECTED is a miscorrection the
+        # device policy failed to veto.
+        tally.record_counts(
+            silent=clean,
+            miscorrected=corrected,
+            detected_no_match=no_match,
+            detected_confinement=confinement,
+        )
+        return tally.freeze()
+
+    def _run_sequential(self, trials: int, seed: int) -> MsedResult:
+        """Numpy-free fallback: the original one-word-at-a-time loop."""
         rng = random.Random(seed)
         code = self.code
         tally = MsedTally()
@@ -153,8 +194,9 @@ class RsMsedSimulator:
                 tally.record_silent()
             elif result.status is RSDecodeStatus.DETECTED:
                 tally.record_detected_no_match()
-            elif self.device_bits is not None and not self._device_confined(
-                result.error_position, result.error_magnitude
+            elif self.device_bits is not None and not device_confined(
+                code, result.error_position, result.error_magnitude,
+                self.device_bits,
             ):
                 tally.record_detected_confinement()
             else:
@@ -163,47 +205,20 @@ class RsMsedSimulator:
 
     def _random_data(self, rng: random.Random) -> list[int]:
         code = self.code
-        data = [rng.randrange(1 << code.symbol_bits) for _ in range(code.data_symbols)]
-        if code.partial_bits:
-            data[-1] &= (1 << code.partial_bits) - 1
-        return data
-
-    def _symbol_width(self, index: int) -> int:
-        code = self.code
-        if code.partial_bits and index == code.data_symbols - 1:
-            return code.partial_bits
-        return code.symbol_bits
+        return [
+            rng.randrange(1 << code.symbol_widths[index])
+            for index in range(code.data_symbols)
+        ]
 
     def _corrupt(self, codeword: list[int], rng: random.Random) -> None:
         code = self.code
         symbols = rng.sample(range(code.n_symbols), self.k_symbols)
         for index in symbols:
-            width = self._symbol_width(index)
+            width = code.symbol_widths[index]
             value = rng.randrange(1 << width)
             while value == codeword[index]:
                 value = rng.randrange(1 << width)
             codeword[index] = value
-
-    def _device_confined(self, position: int, magnitude: int) -> bool:
-        """Would the correction be producible by one failed device?
-
-        Maps the corrected symbol's flipped bits to global channel bit
-        positions (symbols packed low-to-high with their physical
-        widths) and requires them all inside one ``device_bits`` device.
-        """
-        offset = sum(self._symbol_width(i) for i in range(position))
-        device = None
-        bit = 0
-        while magnitude:
-            if magnitude & 1:
-                owner = (offset + bit) // self.device_bits
-                if device is None:
-                    device = owner
-                elif owner != device:
-                    return False
-            magnitude >>= 1
-            bit += 1
-        return True
 
 
 # ----------------------------------------------------------------------
@@ -275,9 +290,9 @@ def build_table_iv(
 ) -> TableIV:
     """Run every design point and assemble the paper's Table IV.
 
-    ``backend`` selects the MUSE decode engine; the tallies are
-    backend-independent for a fixed seed (the RS decoder is scalar
-    either way).
+    ``backend`` selects the decode engine for *both* families (MUSE and
+    RS batch engines); the tallies are backend-independent for a fixed
+    seed, so one flag accelerates the whole table without changing it.
     """
     table = TableIV()
     for extra_bits in range(0, 6):
@@ -299,6 +314,7 @@ def build_table_iv(
             code,
             k_symbols=k_symbols,
             device_bits=4 if rs_device_policy else None,
+            backend=backend,
         )
         result = simulator.run(trials, seed)
         verdict = assess(code.symbol_bits, 4, 144)

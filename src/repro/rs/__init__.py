@@ -7,6 +7,9 @@
   Table IV design points (including partial-symbol shortenings).
 * :mod:`repro.rs.chipkill` — device/symbol alignment analysis behind the
   "not practical" entries of Table IV.
+* :mod:`repro.rs.engine` — batch decode engines (scalar reference +
+  vectorised numpy PGZ) behind :func:`get_rs_engine`, with shared
+  vectorised corruption generation for the Monte-Carlo studies.
 """
 
 from repro.rs.chipkill import (
@@ -14,6 +17,12 @@ from repro.rs.chipkill import (
     assess,
     device_symbol_span,
     practical_for_dram,
+)
+from repro.rs.engine import (
+    RsDecodeEngine,
+    device_confined,
+    get_rs_engine,
+    rs_msed_corruption_batch,
 )
 from repro.rs.gf import PRIMITIVE_POLYNOMIALS, GaloisField, get_field
 from repro.rs.reed_solomon import (
@@ -32,10 +41,14 @@ __all__ = [
     "RSCode",
     "RSDecodeResult",
     "RSDecodeStatus",
+    "RsDecodeEngine",
     "assess",
+    "device_confined",
     "device_symbol_span",
     "get_field",
+    "get_rs_engine",
     "practical_for_dram",
+    "rs_msed_corruption_batch",
     "rs_144_128",
     "rs_80_64",
     "rs_for_channel",

@@ -6,6 +6,16 @@ reproduced the same way: a generator-power table and its inverse give
 O(1) multiply/divide/log, which is both the hardware structure the paper
 costs (the LUTs in Table V) and a fast software path.
 
+Two execution styles share the same tables:
+
+* scalar ``mul``/``div``/``inv`` index a *doubled* exp table
+  (``exp[i % order] == _exp2[i]`` for ``i < 2 * order``) so the hot
+  path needs no ``% order`` reduction;
+* :meth:`GaloisField.mul_batch` / :meth:`div_batch` /
+  :meth:`pow_alpha_batch` run the same lookups over whole ndarrays for
+  the vectorised Reed-Solomon engine (they require numpy and raise
+  :class:`~repro.engine.base.BackendUnavailableError` without it).
+
 Symbol sizes 2..16 bits are supported — Table IV needs 5-, 6-, 7- and
 8-bit symbols.
 """
@@ -14,6 +24,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None
 
 #: Primitive polynomials (with the x^m term) for each supported field size.
 PRIMITIVE_POLYNOMIALS: dict[int, int] = {
@@ -46,6 +61,7 @@ class GaloisField:
     m: int
     exp: list[int] = field(init=False, repr=False)
     log: list[int] = field(init=False, repr=False)
+    _exp2: list[int] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.m not in PRIMITIVE_POLYNOMIALS:
@@ -64,6 +80,9 @@ class GaloisField:
                 value ^= poly
         if value != 1:
             raise AssertionError(f"polynomial {poly:#x} is not primitive")
+        # Doubled exp table: any log sum/difference offset into
+        # [0, 2 * order) indexes directly, with no modular reduction.
+        self._exp2 = self.exp * 2
 
     # ------------------------------------------------------------------
     # Field operations
@@ -86,19 +105,19 @@ class GaloisField:
     def mul(self, a: int, b: int) -> int:
         if a == 0 or b == 0:
             return 0
-        return self.exp[(self.log[a] + self.log[b]) % self.order]
+        return self._exp2[self.log[a] + self.log[b]]
 
     def div(self, a: int, b: int) -> int:
         if b == 0:
             raise ZeroDivisionError("division by zero field element")
         if a == 0:
             return 0
-        return self.exp[(self.log[a] - self.log[b]) % self.order]
+        return self._exp2[self.log[a] - self.log[b] + self.order]
 
     def inv(self, a: int) -> int:
         if a == 0:
             raise ZeroDivisionError("zero has no inverse")
-        return self.exp[(self.order - self.log[a]) % self.order]
+        return self._exp2[self.order - self.log[a]]
 
     def pow_alpha(self, i: int) -> int:
         """alpha^i for any integer i (negative allowed)."""
@@ -116,6 +135,66 @@ class GaloisField:
         for coefficient in coefficients:
             result = self.mul(result, x) ^ coefficient
         return result
+
+    # ------------------------------------------------------------------
+    # Vectorised field operations (numpy required)
+    # ------------------------------------------------------------------
+
+    def _nd_tables(self):
+        """Lazily built ndarray views of the lookup tables.
+
+        ``exp_nd`` is the doubled exp table (uint32, length 2 * order)
+        and ``log_nd`` the log table (int64; index 0 holds a harmless 0
+        sentinel — callers must mask zero operands themselves).
+        """
+        if np is None:
+            from repro.engine.base import BackendUnavailableError
+
+            raise BackendUnavailableError(
+                "numpy is required for vectorised GF arithmetic"
+            )
+        tables = self.__dict__.get("_nd")
+        if tables is None:
+            tables = (
+                np.array(self._exp2, dtype=np.uint32),
+                np.array(self.log, dtype=np.int64),
+            )
+            self.__dict__["_nd"] = tables
+        return tables
+
+    @property
+    def exp_nd(self):
+        """Doubled exp table as a uint32 ndarray (``exp_nd[i] == alpha^i``
+        for ``0 <= i < 2 * order``)."""
+        return self._nd_tables()[0]
+
+    @property
+    def log_nd(self):
+        """Log table as an int64 ndarray; ``log_nd[0]`` is a 0 sentinel."""
+        return self._nd_tables()[1]
+
+    def mul_batch(self, a, b):
+        """Elementwise field product of two symbol ndarrays (broadcasts)."""
+        exp2, log = self._nd_tables()
+        a = np.asarray(a)
+        b = np.asarray(b)
+        product = exp2[log[a] + log[b]]
+        return np.where((a == 0) | (b == 0), np.uint32(0), product)
+
+    def div_batch(self, a, b):
+        """Elementwise field quotient; raises if any divisor is zero."""
+        exp2, log = self._nd_tables()
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if np.any(b == 0):
+            raise ZeroDivisionError("division by zero field element")
+        quotient = exp2[log[a] - log[b] + self.order]
+        return np.where(a == 0, np.uint32(0), quotient)
+
+    def pow_alpha_batch(self, i):
+        """``alpha^i`` for an ndarray of integers (negative allowed)."""
+        exp2, _ = self._nd_tables()
+        return exp2[np.asarray(i) % self.order]
 
 
 @lru_cache(maxsize=None)

@@ -120,6 +120,23 @@ class RSCode:
     def check_bits(self) -> int:
         return self.CHECK_SYMBOLS * self.symbol_bits
 
+    @cached_property
+    def symbol_widths(self) -> tuple[int, ...]:
+        """Physical bit width of every codeword symbol."""
+        return tuple(self._symbol_width(i) for i in range(self.n_symbols))
+
+    @cached_property
+    def symbol_bit_offsets(self) -> tuple[int, ...]:
+        """Global channel bit offset of every symbol (prefix sums of
+        :attr:`symbol_widths`) — shared by the scalar and vectorised
+        device-confinement checks."""
+        offsets = []
+        total = 0
+        for width in self.symbol_widths:
+            offsets.append(total)
+            total += width
+        return tuple(offsets)
+
     # ------------------------------------------------------------------
     # Encode
     # ------------------------------------------------------------------
@@ -247,37 +264,24 @@ class RSCode:
     def pack(self, symbols: tuple[int, ...] | list[int]) -> int:
         """Pack codeword symbols into an integer (symbol 0 in low bits)."""
         value = 0
-        offset = 0
         for index, symbol in enumerate(symbols):
-            width = (
-                self._symbol_width(index)
-                if index < self.data_symbols
-                else self.symbol_bits
-            )
+            width = self.symbol_widths[index]
             if symbol >> width:
                 raise ValueError(
                     f"symbol {index} value {symbol:#x} exceeds its "
                     f"{width} physical bits"
                 )
-            value |= symbol << offset
-            offset += width
+            value |= symbol << self.symbol_bit_offsets[index]
         return value
 
     def unpack(self, codeword: int) -> tuple[int, ...]:
         """Inverse of :meth:`pack`."""
         if not 0 <= codeword < (1 << self.n_bits):
             raise ValueError(f"codeword must fit in {self.n_bits} bits")
-        symbols = []
-        offset = 0
-        for index in range(self.n_symbols):
-            width = (
-                self._symbol_width(index)
-                if index < self.data_symbols
-                else self.symbol_bits
-            )
-            symbols.append((codeword >> offset) & ((1 << width) - 1))
-            offset += width
-        return tuple(symbols)
+        return tuple(
+            (codeword >> offset) & ((1 << width) - 1)
+            for offset, width in zip(self.symbol_bit_offsets, self.symbol_widths)
+        )
 
     def decode_bits(self, codeword: int) -> tuple[RSDecodeStatus, int | None]:
         """Bit-level decode; returns (status, data or None)."""

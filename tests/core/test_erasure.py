@@ -108,6 +108,77 @@ class TestDoubleDeviceErasure:
         assert result.data == 777
 
 
+class TestBatchDecode:
+    """decode_batch groups words by window and must be scalar-identical."""
+
+    def _mixed_batch(self, code, trials, seed):
+        rng = random.Random(seed)
+        words, pairs = [], []
+        for _ in range(trials):
+            codeword = code.encode(rng.randrange(1 << code.k))
+            first = rng.randrange(code.layout.symbol_count - 1)
+            kind = rng.randrange(3)
+            if kind == 0:  # corruption inside the erased window
+                codeword = code.layout.insert_symbol(
+                    codeword, first, rng.randrange(16)
+                )
+                codeword = code.layout.insert_symbol(
+                    codeword, first + 1, rng.randrange(16)
+                )
+            elif kind == 1:  # corruption outside the window: detected
+                other = (first + 3) % code.layout.symbol_count
+                codeword = code.layout.insert_symbol(
+                    codeword,
+                    other,
+                    code.layout.extract_symbol(codeword, other) ^ 0x5,
+                )
+            # kind == 2: clean
+            words.append(codeword)
+            pairs.append((first, first + 1))
+        return words, pairs
+
+    def test_batch_matches_scalar_per_word(self):
+        from repro.engine import numpy_available
+
+        code = muse_144_132()
+        decoder = ErasureDecoder(code)
+        words, pairs = self._mixed_batch(code, 200, seed=23)
+        scalar = decoder.decode_batch(words, pairs, backend="scalar")
+        assert scalar == [
+            decoder.decode(word, pair) for word, pair in zip(words, pairs)
+        ]
+        if numpy_available():
+            assert decoder.decode_batch(words, pairs, backend="numpy") == scalar
+
+    def test_single_shared_window_shorthand(self):
+        code = muse_80_69()
+        decoder = ErasureDecoder(code)
+        rng = random.Random(31)
+        datas = [rng.randrange(1 << code.k) for _ in range(40)]
+        words = [
+            code.layout.insert_symbol(
+                code.layout.insert_symbol(code.encode(d), 4, rng.randrange(16)),
+                5,
+                rng.randrange(16),
+            )
+            for d in datas
+        ]
+        results = decoder.decode_batch(words, (4, 5))
+        assert [r.data for r in results] == datas
+
+    def test_length_mismatch_rejected(self):
+        code = muse_80_69()
+        decoder = ErasureDecoder(code)
+        with pytest.raises(ValueError, match="erasure tuples"):
+            decoder.decode_batch([1, 2, 3], [(0, 1)])
+
+    def test_non_contiguous_window_rejected_in_batch(self):
+        code = muse_80_69()
+        decoder = ErasureDecoder(code)
+        with pytest.raises(ErasureWindowError):
+            decoder.decode_batch([code.encode(1)], [(3, 5)])
+
+
 class TestRandomizedLifecycle:
     def test_identify_then_erase_flow(self):
         """The commercial flow: SSC catches failure #1, then the pair is

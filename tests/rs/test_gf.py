@@ -83,6 +83,92 @@ class TestOperations:
         assert gf16.poly_eval([1, 0, 3], 2) == 7
 
 
+class TestDoubledExpTable:
+    @pytest.mark.parametrize("m", (4, 5, 8))
+    def test_exp2_is_exp_wrapped(self, m):
+        field = get_field(m)
+        assert len(field._exp2) == 2 * field.order
+        for i in range(2 * field.order):
+            assert field._exp2[i] == field.exp[i % field.order]
+
+    @given(a=st.integers(1, 255), b=st.integers(1, 255))
+    @settings(max_examples=200)
+    def test_mul_div_match_modular_formula(self, a, b):
+        """The doubled-table fast path equals the % order reference."""
+        field = get_field(8)
+        assert field.mul(a, b) == field.exp[
+            (field.log[a] + field.log[b]) % field.order
+        ]
+        assert field.div(a, b) == field.exp[
+            (field.log[a] - field.log[b]) % field.order
+        ]
+
+
+class TestVectorisedOps:
+    """GF ndarray arithmetic must mirror the scalar tables exactly."""
+
+    numpy = pytest.importorskip("numpy")
+
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 255), st.integers(0, 255)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100)
+    def test_mul_batch_matches_scalar(self, pairs):
+        np = self.numpy
+        field = get_field(8)
+        a = np.array([p[0] for p in pairs])
+        b = np.array([p[1] for p in pairs])
+        assert field.mul_batch(a, b).tolist() == [
+            field.mul(x, y) for x, y in pairs
+        ]
+
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 31), st.integers(1, 31)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100)
+    def test_div_batch_matches_scalar(self, pairs):
+        np = self.numpy
+        field = get_field(5)
+        a = np.array([p[0] for p in pairs])
+        b = np.array([p[1] for p in pairs])
+        assert field.div_batch(a, b).tolist() == [
+            field.div(x, y) for x, y in pairs
+        ]
+
+    def test_div_batch_rejects_zero_divisor(self):
+        np = self.numpy
+        field = get_field(4)
+        with pytest.raises(ZeroDivisionError):
+            field.div_batch(np.array([1, 2]), np.array([3, 0]))
+
+    def test_pow_alpha_batch_handles_negative_exponents(self):
+        np = self.numpy
+        field = get_field(6)
+        exponents = np.array([-130, -1, 0, 1, 62, 63, 200])
+        assert field.pow_alpha_batch(exponents).tolist() == [
+            field.pow_alpha(int(i)) for i in exponents
+        ]
+
+    def test_mul_batch_broadcasts_scalars(self):
+        field = get_field(8)
+        values = self.numpy.arange(256)
+        assert field.mul_batch(values, 1).tolist() == list(range(256))
+        assert field.mul_batch(values, 0).tolist() == [0] * 256
+
+    def test_nd_tables_cached(self):
+        field = get_field(7)
+        assert field.exp_nd is field.exp_nd
+        assert field.log_nd is field.log_nd
+
+
 class TestCaching:
     def test_get_field_is_shared(self):
         assert get_field(8) is get_field(8)
