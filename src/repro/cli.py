@@ -4,10 +4,11 @@ Examples
 --------
 ::
 
-    repro-muse table1                 # regenerate Table I searches
-    repro-muse table4 --trials 10000  # full Monte-Carlo Table IV
-    repro-muse figure6 --quick        # 3-benchmark, short-trace preview
-    repro-muse all --quick            # every experiment, fast settings
+    repro-muse table1                      # regenerate Table I searches
+    repro-muse table4 --trials 1000000 --jobs 8   # rare-tail Table IV
+    repro-muse table4 --chunk-size 65536 --seed 7 # streamed, reseeded
+    repro-muse figure6 --quick             # 3-benchmark, short-trace preview
+    repro-muse all --jobs 4 --results-dir results  # concurrent sweep
 """
 
 from __future__ import annotations
@@ -19,15 +20,13 @@ from repro.experiments import (
     ablation_frontier,
     ablation_shuffle,
     extension_double_device,
-    figure1b,
-    figure6,
-    figure7,
-    pim,
-    rowhammer,
-    table1,
-    table3,
     table4,
-    table5,
+)
+from repro.orchestrate.sweep import (
+    EXPERIMENT_TARGETS,
+    ExperimentTask,
+    resolve_experiment,
+    run_all,
 )
 
 FAST_SETTINGS = {
@@ -36,6 +35,18 @@ FAST_SETTINGS = {
     "attempts": 40_000,
     "benchmarks": 3,
 }
+
+#: The experiments whose Monte-Carlo loops accept the streaming /
+#: sharding options (--trials/--seed/--jobs/--chunk-size), with their
+#: published per-experiment trial defaults (--quick takes the smaller
+#: of FAST_SETTINGS and the default — a preview never does more work).
+MONTE_CARLO_DEFAULT_TRIALS = {
+    "table4": table4.DEFAULT_TRIALS,
+    "ablation-shuffle": ablation_shuffle.DEFAULT_TRIALS,
+    "ablation-frontier": ablation_frontier.DEFAULT_TRIALS,
+    "extension-double-device": extension_double_device.DEFAULT_TRIALS,
+}
+MONTE_CARLO_EXPERIMENTS = tuple(MONTE_CARLO_DEFAULT_TRIALS)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,8 +68,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="which paper artifact to regenerate",
     )
     parser.add_argument(
-        "--trials", type=int, default=10_000,
-        help="Monte-Carlo trials per design point (table4, ablations)",
+        "--trials", type=int, default=None,
+        help=(
+            "Monte-Carlo trials per design point (table4, ablations, "
+            "extension-double-device; default: each experiment's "
+            "published setting)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help=(
+            "master Monte-Carlo seed for the trial streams (default: "
+            "each experiment's published seed); tallies at a fixed seed "
+            "are independent of --jobs/--chunk-size/--backend"
+        ),
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help=(
+            "worker processes: fans design-point chunks (table4, "
+            "ablations, extension-double-device) or whole experiments "
+            "('all') over a process pool"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=None,
+        help=(
+            "trials per streamed chunk (default 65536); bounds peak "
+            "memory — a 10^6-trial run only ever materialises one "
+            "chunk per worker"
+        ),
     )
     parser.add_argument(
         "--mem-ops", type=int, default=120_000,
@@ -85,43 +124,117 @@ def build_parser() -> argparse.ArgumentParser:
             "(table4, ablations, extension-double-device)"
         ),
     )
+    parser.add_argument(
+        "--results-dir", default=None,
+        help=(
+            "directory for rendered reports + summary.json ('all'; "
+            "created if missing)"
+        ),
+    )
     return parser
 
 
-def run(args: argparse.Namespace) -> int:
-    trials = FAST_SETTINGS["trials"] if args.quick else args.trials
+def experiment_kwargs(args: argparse.Namespace) -> dict[str, dict]:
+    """Per-experiment keyword arguments from the parsed namespace.
+
+    ``None`` values are omitted so each experiment keeps its own
+    published defaults (e.g. extension-double-device's 400 trials vs
+    table4's 10,000) unless the user overrides them.
+    """
     mem_ops = FAST_SETTINGS["mem_ops"] if args.quick else args.mem_ops
     attempts = FAST_SETTINGS["attempts"] if args.quick else args.attempts
     benchmarks = FAST_SETTINGS["benchmarks"] if args.quick else args.benchmarks
 
-    backend = args.backend
+    def monte_carlo(name: str) -> dict:
+        kw = {"backend": args.backend}
+        if args.quick:
+            kw["trials"] = min(
+                FAST_SETTINGS["trials"], MONTE_CARLO_DEFAULT_TRIALS[name]
+            )
+        elif args.trials is not None:
+            kw["trials"] = args.trials
+        if args.seed is not None:
+            kw["seed"] = args.seed
+        if args.chunk_size is not None:
+            kw["chunk_size"] = args.chunk_size
+        return kw
 
-    dispatch = {
-        "table1": lambda: table1.main(),
-        "figure1b": lambda: figure1b.main(),
-        "table3": lambda: table3.main(),
-        "table4": lambda: table4.main(trials=trials, backend=backend),
-        "table5": lambda: table5.main(),
-        "figure6": lambda: figure6.main(mem_ops=mem_ops, benchmarks=benchmarks),
-        "figure7": lambda: figure7.main(mem_ops=mem_ops, benchmarks=benchmarks),
-        "rowhammer": lambda: rowhammer.main(attempts=attempts),
-        "pim": lambda: pim.main(),
-        "ablation-shuffle": lambda: ablation_shuffle.main(
-            trials=trials, backend=backend
-        ),
-        "ablation-frontier": lambda: ablation_frontier.main(
-            trials=trials, backend=backend
-        ),
-        "extension-double-device": lambda: extension_double_device.main(
-            backend=backend
-        ),
+    trace = {"mem_ops": mem_ops}
+    if args.seed is not None:
+        trace["seed"] = args.seed  # figure6/figure7 sample traces too
+    if benchmarks is not None:
+        trace["benchmarks"] = benchmarks
+
+    return {
+        "table1": {},
+        "figure1b": {},
+        "table3": {},
+        "table4": monte_carlo("table4"),
+        "table5": {},
+        "figure6": dict(trace),
+        "figure7": dict(trace),
+        "rowhammer": {"attempts": attempts},
+        "pim": {},
+        "ablation-shuffle": monte_carlo("ablation-shuffle"),
+        "ablation-frontier": monte_carlo("ablation-frontier"),
+        "extension-double-device": monte_carlo("extension-double-device"),
     }
+
+
+def run(args: argparse.Namespace) -> int:
+    kwargs = experiment_kwargs(args)
+
     if args.experiment == "all":
-        for name, runner in dispatch.items():
-            print(f"\n=== {name} " + "=" * max(0, 60 - len(name)))
-            runner()
+        # Experiments parallelise across the pool; each runs its own
+        # Monte-Carlo single-process (no nested pools).  Reports stream
+        # as experiments finish — held back only as long as needed to
+        # keep presentation order — so a long sweep shows progress and
+        # a mid-sweep failure keeps everything already completed.
+        tasks = [
+            ExperimentTask.make(name, kwargs[name]) for name in EXPERIMENT_TARGETS
+        ]
+        order = [task.name for task in tasks]
+        ready: dict[str, str] = {}
+        emitted = 0
+
+        def header(name: str) -> str:
+            return f"\n=== {name} " + "=" * max(0, 60 - len(name))
+
+        def emit(outcome) -> None:
+            nonlocal emitted
+            ready[outcome.name] = outcome.report
+            while emitted < len(order) and order[emitted] in ready:
+                name = order[emitted]
+                print(header(name))
+                print(ready.pop(name))
+                emitted += 1
+
+        try:
+            run_all(
+                tasks,
+                jobs=args.jobs,
+                results_dir=args.results_dir,
+                on_outcome=emit,
+            )
+        finally:
+            # Only non-empty when a failure interrupted the sweep:
+            # completed experiments held back for presentation order
+            # still get shown, just marked out of order.
+            for name in order[emitted:]:
+                if name in ready:
+                    print(header(name) + " (out of order)")
+                    print(ready.pop(name))
+        if args.results_dir is not None:
+            print(f"\nreports + summary.json written to {args.results_dir}/")
         return 0
-    dispatch[args.experiment]()
+
+    call_kwargs = kwargs[args.experiment]
+    if args.experiment in MONTE_CARLO_EXPERIMENTS:
+        call_kwargs["jobs"] = args.jobs
+    # One registry (sweep.EXPERIMENT_TARGETS) backs both direct dispatch
+    # and the 'all' sweep, so an experiment can't exist in one but not
+    # the other.
+    resolve_experiment(args.experiment)(**call_kwargs)
     return 0
 
 

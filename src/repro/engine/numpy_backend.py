@@ -243,11 +243,6 @@ class NumpyDecodeEngine(DecodeEngine):
             return words
         return ints_to_limbs(list(words), self.limbs)
 
-    def random_data_batch(self, rng: np.random.Generator, trials: int) -> np.ndarray:
-        """Uniform k-bit data words straight into limb form."""
-        raw = rng.integers(0, 1 << LIMB_BITS, size=(trials, self.limbs), dtype=np.uint64)
-        return raw & int_to_limb_row((1 << self.code.k) - 1, self.limbs)
-
     # -- encode --------------------------------------------------------
 
     def encode_limbs(self, data: np.ndarray) -> np.ndarray:

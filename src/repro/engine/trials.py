@@ -1,11 +1,15 @@
 """Bulk Monte-Carlo trial generation for the MSED studies.
 
 The corruption stream is generated *once*, vectorised, independent of
-which backend later decodes it: random data words are encoded in limb
-form, ``k`` distinct symbols per word are chosen, and each chosen
-symbol is overwritten with a uniform value different from its original.
-Both backends then classify the *same* corrupted words, which is what
-makes scalar-vs-numpy tallies byte-identical under a fixed seed.
+which backend later decodes it; both backends classify the *same*
+corrupted words, which is what makes scalar-vs-numpy tallies
+byte-identical under a fixed seed.
+
+Since the streaming orchestrator landed, the stream itself lives in
+:mod:`repro.orchestrate.corruption` in chunk-addressable form (every
+draw a counter hash of the global trial index); this module's
+whole-run entry point is a thin wrapper over one full-run chunk, so
+the monolithic and chunked generators can never diverge.
 
 Requires numpy (it is the generator, not a decoder); callers fall back
 to the sequential :class:`random.Random` path when it is absent.
@@ -13,49 +17,19 @@ to the sequential :class:`random.Random` path when it is absent.
 
 from __future__ import annotations
 
-from repro.engine.base import BackendUnavailableError
-
-try:
-    import numpy as np
-except ImportError:  # pragma: no cover - exercised only without numpy
-    np = None
-
 
 def msed_corruption_batch(code, trials: int, seed: int, k_symbols: int = 2):
     """Encode ``trials`` random words and corrupt ``k_symbols`` each.
 
     Returns a ``(trials, limbs)`` uint64 batch of corrupted codewords,
-    consumable by any :class:`~repro.engine.base.DecodeEngine`.
+    consumable by any :class:`~repro.engine.base.DecodeEngine` —
+    exactly chunk ``[0, trials)`` of the counter-hashed stream keyed by
+    ``derive_key(seed)``.
     """
-    if np is None:
-        raise BackendUnavailableError("numpy is required for bulk trial generation")
-    from repro.engine import get_engine
-    from repro.engine.numpy_backend import extract_symbol_batch, insert_symbol_batch
+    from repro.orchestrate.corruption import muse_corruption_chunk
+    from repro.orchestrate.plan import Chunk
+    from repro.orchestrate.rng import derive_key
 
-    layout = code.layout
-    if not 1 <= k_symbols <= layout.symbol_count:
-        raise ValueError(
-            f"k_symbols must be in [1, {layout.symbol_count}], got {k_symbols}"
-        )
-    engine = get_engine(code, "numpy")
-    rng = np.random.default_rng(seed)
-    words = engine.encode_limbs(engine.random_data_batch(rng, trials))
-
-    # k distinct symbols per row: the k smallest of S iid uniforms.
-    scores = rng.random((trials, layout.symbol_count))
-    chosen = np.argpartition(scores, k_symbols - 1, axis=1)[:, :k_symbols]
-
-    for slot in range(k_symbols):
-        slot_symbols = chosen[:, slot]
-        for index in range(layout.symbol_count):
-            rows = np.flatnonzero(slot_symbols == index)
-            if rows.size == 0:
-                continue
-            width = len(layout.symbols[index])
-            original = extract_symbol_batch(words[rows], layout, index)
-            # Uniform over the 2^w - 1 values != original: draw from a
-            # range one short and step over the original.
-            draw = rng.integers(0, (1 << width) - 1, size=rows.size, dtype=np.uint64)
-            value = draw + (draw >= original).astype(np.uint64)
-            insert_symbol_batch(words, layout, index, value, rows)
-    return words
+    return muse_corruption_chunk(
+        code, Chunk(0, trials), derive_key(seed), k_symbols
+    )

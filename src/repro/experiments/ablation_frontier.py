@@ -14,10 +14,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.orchestrate.worker import CodeRef
 from repro.reliability.monte_carlo import (
     MuseMsedSimulator,
     RsMsedSimulator,
     muse_design_point,
+    run_design_points,
 )
 from repro.rs.reed_solomon import rs_144_128
 
@@ -31,15 +33,36 @@ class FrontierPoint:
 
 
 def frontier(
-    trials: int = 4000, seed: int = 5, backend: str = "auto"
+    trials: int = 4000,
+    seed: int = 5,
+    backend: str = "auto",
+    jobs: int = 1,
+    chunk_size: int | None = None,
 ) -> list[FrontierPoint]:
-    points = []
+    # One run_design_points call = one shared pool for all 12 runs
+    # (full + ablated per point), not a pool spin-up per design point.
+    codes = []
+    simulators = []
     for extra_bits in range(0, 6):
         code = muse_design_point(extra_bits)
-        full = MuseMsedSimulator(code, backend=backend).run(trials, seed)
-        ablated = MuseMsedSimulator(
-            code, ripple_check=False, backend=backend
-        ).run(trials, seed)
+        ref = CodeRef(
+            "repro.reliability.monte_carlo:muse_design_point", (extra_bits,)
+        )
+        codes.append((extra_bits, code))
+        simulators.append(
+            MuseMsedSimulator(code, backend=backend, code_ref=ref)
+        )
+        simulators.append(
+            MuseMsedSimulator(
+                code, ripple_check=False, backend=backend, code_ref=ref
+            )
+        )
+    results = run_design_points(
+        simulators, trials, seed, jobs=jobs, chunk_size=chunk_size
+    )
+    points = []
+    for index, (extra_bits, code) in enumerate(codes):
+        full, ablated = results[2 * index], results[2 * index + 1]
         points.append(
             FrontierPoint(
                 extra_bits=extra_bits,
@@ -59,22 +82,44 @@ class KSweepPoint:
 
 
 def k_sweep(
-    trials: int = 4000, seed: int = 5, backend: str = "auto"
+    trials: int = 4000,
+    seed: int = 5,
+    backend: str = "auto",
+    jobs: int = 1,
+    chunk_size: int | None = None,
 ) -> list[KSweepPoint]:
     from repro.core.codes import muse_144_132
 
-    points = []
-    for k in (2, 3, 4, 5):
-        muse = MuseMsedSimulator(
-            muse_144_132(), k_symbols=k, backend=backend
-        ).run(trials, seed)
-        rs = RsMsedSimulator(rs_144_128(), k_symbols=k, backend=backend).run(
-            trials, seed
+    ks = (2, 3, 4, 5)
+    simulators = []
+    for k in ks:
+        simulators.append(
+            MuseMsedSimulator(
+                muse_144_132(),
+                k_symbols=k,
+                backend=backend,
+                code_ref=CodeRef("repro.core.codes:muse_144_132"),
+            )
         )
-        points.append(
-            KSweepPoint(k=k, muse_msed=muse.msed_percent, rs_msed=rs.msed_percent)
+        simulators.append(
+            RsMsedSimulator(
+                rs_144_128(),
+                k_symbols=k,
+                backend=backend,
+                code_ref=CodeRef("repro.rs.reed_solomon:rs_144_128"),
+            )
         )
-    return points
+    results = run_design_points(
+        simulators, trials, seed, jobs=jobs, chunk_size=chunk_size
+    )
+    return [
+        KSweepPoint(
+            k=k,
+            muse_msed=results[2 * index].msed_percent,
+            rs_msed=results[2 * index + 1].msed_percent,
+        )
+        for index, k in enumerate(ks)
+    ]
 
 
 def render(
@@ -100,9 +145,22 @@ def render(
     return "\n".join(lines)
 
 
-def main(trials: int = 4000, backend: str = "auto") -> str:
+DEFAULT_TRIALS = 4000
+DEFAULT_SEED = 5
+
+
+def main(
+    trials: int | None = None,
+    seed: int | None = None,
+    backend: str = "auto",
+    jobs: int = 1,
+    chunk_size: int | None = None,
+) -> str:
+    trials = DEFAULT_TRIALS if trials is None else trials
+    seed = DEFAULT_SEED if seed is None else seed
     report = render(
-        frontier(trials, backend=backend), k_sweep(trials, backend=backend)
+        frontier(trials, seed, backend=backend, jobs=jobs, chunk_size=chunk_size),
+        k_sweep(trials, seed, backend=backend, jobs=jobs, chunk_size=chunk_size),
     )
     print(report)
     return report

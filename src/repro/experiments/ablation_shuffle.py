@@ -18,7 +18,8 @@ from dataclasses import dataclass
 from repro.core.error_model import ErrorDirection, SymbolErrorModel
 from repro.core.search import find_multipliers
 from repro.core.symbols import SymbolLayout
-from repro.reliability.monte_carlo import MuseMsedSimulator
+from repro.orchestrate.worker import CodeRef
+from repro.reliability.monte_carlo import MuseMsedSimulator, run_design_points
 
 
 @dataclass(frozen=True)
@@ -71,7 +72,11 @@ class ShuffleMsedRow:
 
 
 def msed_sweep(
-    trials: int = 3000, seed: int = 7, backend: str = "auto"
+    trials: int = 3000,
+    seed: int = 7,
+    backend: str = "auto",
+    jobs: int = 1,
+    chunk_size: int | None = None,
 ) -> list[ShuffleMsedRow]:
     """Monte-Carlo MSED across the 80-bit design points, per layout.
 
@@ -82,21 +87,34 @@ def msed_sweep(
     detection rates can at least be compared across the paper's actual
     Table-I picks.
     """
-    from repro.core.codes import muse_80_67, muse_80_69, muse_80_70
+    from repro.core import codes
 
-    rows = []
-    for code in (muse_80_69(), muse_80_67(), muse_80_70()):
-        kind = "sequential" if code.layout.is_sequential() else "shuffled"
-        simulator = MuseMsedSimulator(code, backend=backend)
-        rows.append(
-            ShuffleMsedRow(
-                code_name=code.name,
-                layout=kind,
-                m=code.m,
-                msed_percent=simulator.run(trials, seed).msed_percent,
-            )
+    points = []
+    for factory in ("muse_80_69", "muse_80_67", "muse_80_70"):
+        code = getattr(codes, factory)()
+        simulator = MuseMsedSimulator(
+            code,
+            backend=backend,
+            code_ref=CodeRef(f"repro.core.codes:{factory}"),
         )
-    return rows
+        points.append((code, simulator))
+    # One shared pool (or in-process stream) for all three codes.
+    results = run_design_points(
+        [simulator for _, simulator in points],
+        trials,
+        seed,
+        jobs=jobs,
+        chunk_size=chunk_size,
+    )
+    return [
+        ShuffleMsedRow(
+            code_name=code.name,
+            layout="sequential" if code.layout.is_sequential() else "shuffled",
+            m=code.m,
+            msed_percent=result.msed_percent,
+        )
+        for (code, _), result in zip(points, results)
+    ]
 
 
 def render(rows: list[ShuffleAblationRow]) -> str:
@@ -134,10 +152,25 @@ def render_msed(rows: list[ShuffleMsedRow]) -> str:
     return "\n".join(lines)
 
 
-def main(trials: int = 3000, backend: str = "auto") -> str:
-    report = "\n\n".join(
-        [render(sweep()), render_msed(msed_sweep(trials, backend=backend))]
+DEFAULT_TRIALS = 3000
+DEFAULT_SEED = 7
+
+
+def main(
+    trials: int | None = None,
+    seed: int | None = None,
+    backend: str = "auto",
+    jobs: int = 1,
+    chunk_size: int | None = None,
+) -> str:
+    rows = msed_sweep(
+        DEFAULT_TRIALS if trials is None else trials,
+        DEFAULT_SEED if seed is None else seed,
+        backend=backend,
+        jobs=jobs,
+        chunk_size=chunk_size,
     )
+    report = "\n\n".join([render(sweep()), render_msed(rows)])
     print(report)
     return report
 

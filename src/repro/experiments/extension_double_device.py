@@ -29,6 +29,10 @@ from repro.core.erasure import ErasureDecoder
 from repro.core.error_model import SymbolErrorModel
 from repro.core.search import MultiplierSearch, is_valid_multiplier
 from repro.core.symbols import SymbolLayout
+from repro.orchestrate.plan import Chunk, plan_chunks
+from repro.orchestrate.pool import run_sharded
+from repro.orchestrate.rng import derive_key, trial_seed
+from repro.orchestrate.worker import ChunkTask
 
 
 def aligned_window_values(n: int = 80, window: int = 8) -> list[int]:
@@ -62,48 +66,109 @@ class DoubleDeviceResult:
     erasure_recovered: int
 
 
+def ssc_code(m: int) -> MuseCode:
+    """The 80-bit C4B SSC code for a known multiplier ``m``.
+
+    Worker processes rebuild the code from the multiplier the parent
+    already searched for, skipping the descending search entirely.
+    """
+    return MuseCode(SymbolLayout.sequential(80, 4), m, name="MUSE(80,65)")
+
+
 def build_r15_ssc_code() -> MuseCode:
     """Largest 15-bit multiplier for the 80-bit C4B (SSC) model."""
     model = SymbolErrorModel(SymbolLayout.sequential(80, 4))
     result = MultiplierSearch(model, 15).run_descending(stop_after=1)
     if not result.found:
         raise AssertionError("no 15-bit SSC multiplier over 80 bits")
-    return MuseCode(
-        SymbolLayout.sequential(80, 4),
-        result.multipliers[-1],
-        name="MUSE(80,65)",
-    )
+    return ssc_code(result.multipliers[-1])
 
 
-def run(trials: int = 400, seed: int = 13, backend: str = "auto") -> DoubleDeviceResult:
+@dataclass
+class ErasureTally:
+    """Mergeable fold term for the erasure Monte-Carlo."""
+
+    trials: int = 0
+    recovered: int = 0
+
+    def merge(self, other: "ErasureTally") -> "ErasureTally":
+        self.trials += other.trials
+        self.recovered += other.recovered
+        return self
+
+
+@dataclass(frozen=True)
+class ErasureChunkSpec:
+    """Picklable recipe for one worker's erasure-chunk runner."""
+
+    m: int
+    backend: str = "auto"
+
+    def build(self) -> "ErasureChunkRunner":
+        return ErasureChunkRunner(ssc_code(self.m), self.backend)
+
+
+class ErasureChunkRunner:
+    """Runs chunks of the adjacent-pair corruption stream.
+
+    Trial ``t`` is generated from a counter-seeded
+    :class:`random.Random`, so chunk tallies fold split-invariantly —
+    the same scheme the MSED simulators use, applied to known-location
+    erasure decoding.
+    """
+
+    def __init__(self, code: MuseCode, backend: str = "auto"):
+        self.code = code
+        self.backend = backend
+        self.decoder = ErasureDecoder(code)
+
+    def run_chunk(self, chunk: Chunk, key: int) -> ErasureTally:
+        code = self.code
+        symbol_count = code.layout.symbol_count
+        datas, pairs, corrupted_values = [], [], []
+        for trial in range(chunk.start, chunk.stop):
+            rng = random.Random(trial_seed(key, trial))
+            datas.append(rng.randrange(1 << code.k))
+            first = rng.randrange(symbol_count - 1)
+            pairs.append((first, first + 1))  # consecutive devices
+            corrupted_values.append((rng.randrange(16), rng.randrange(16)))
+        codewords = code.encode_batch(datas, backend=self.backend)
+        corrupted = []
+        for codeword, pair, pair_values in zip(codewords, pairs, corrupted_values):
+            for symbol, value in zip(pair, pair_values):
+                codeword = code.layout.insert_symbol(codeword, symbol, value)
+            corrupted.append(codeword)
+        results = self.decoder.decode_batch(corrupted, pairs, backend=self.backend)
+        recovered = sum(
+            1
+            for data, result in zip(datas, results)
+            if result.status is not DecodeStatus.DETECTED and result.data == data
+        )
+        return ErasureTally(trials=chunk.size, recovered=recovered)
+
+
+def run(
+    trials: int = 400,
+    seed: int = 13,
+    backend: str = "auto",
+    jobs: int = 1,
+    chunk_size: int | None = None,
+) -> DoubleDeviceResult:
     code = build_r15_ssc_code()
-    decoder = ErasureDecoder(code)
-    rng = random.Random(seed)
-    # Bulk-generate the trial set, encode it in one engine batch, and
-    # erasure-decode it in one batch too: words sharing an erased pair
-    # are grouped and run through the vectorised limb path.
-    datas = [rng.randrange(1 << code.k) for _ in range(trials)]
-    firsts = [rng.randrange(code.layout.symbol_count - 1) for _ in range(trials)]
-    values = [(rng.randrange(16), rng.randrange(16)) for _ in range(trials)]
-    codewords = code.encode_batch(datas, backend=backend)
-    pairs = [(first, first + 1) for first in firsts]  # consecutive devices
-    corrupted = []
-    for codeword, pair, pair_values in zip(codewords, pairs, values):
-        for symbol, value in zip(pair, pair_values):
-            codeword = code.layout.insert_symbol(codeword, symbol, value)
-        corrupted.append(codeword)
-    results = decoder.decode_batch(corrupted, pairs, backend=backend)
-    recovered = sum(
-        1
-        for data, result in zip(datas, results)
-        if result.status is not DecodeStatus.DETECTED and result.data == data
-    )
+    spec = ErasureChunkSpec(m=code.m, backend=backend)
+    key = derive_key(seed)
+    # run_sharded executes in process for jobs <= 1 (same runner cache,
+    # same fold), so one path covers both execution modes.
+    tasks = [
+        ChunkTask(0, spec, chunk, key) for chunk in plan_chunks(trials, chunk_size)
+    ]
+    tally = run_sharded(tasks, jobs).get(0, ErasureTally())
     return DoubleDeviceResult(
         r15_unknown_location=unknown_location_search(15),
         r16_unknown_location=unknown_location_search(16),
         ssc_multiplier=code.m,
-        erasure_trials=trials,
-        erasure_recovered=recovered,
+        erasure_trials=tally.trials,
+        erasure_recovered=tally.recovered,
     )
 
 
@@ -124,8 +189,26 @@ def render(result: DoubleDeviceResult) -> str:
     return "\n".join(lines)
 
 
-def main(trials: int = 400, backend: str = "auto") -> str:
-    report = render(run(trials, backend=backend))
+DEFAULT_TRIALS = 400
+DEFAULT_SEED = 13
+
+
+def main(
+    trials: int | None = None,
+    seed: int | None = None,
+    backend: str = "auto",
+    jobs: int = 1,
+    chunk_size: int | None = None,
+) -> str:
+    report = render(
+        run(
+            DEFAULT_TRIALS if trials is None else trials,
+            DEFAULT_SEED if seed is None else seed,
+            backend=backend,
+            jobs=jobs,
+            chunk_size=chunk_size,
+        )
+    )
     print(report)
     return report
 

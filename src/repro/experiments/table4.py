@@ -36,17 +36,25 @@ def render(table: TableIV) -> str:
     return "\n".join(lines)
 
 
+DEFAULT_TRIALS = 10_000
+DEFAULT_SEED = 2022
+
+
 def main(
-    trials: int = 10_000,
-    seed: int = 2022,
+    trials: int | None = None,
+    seed: int | None = None,
     rs_device_policy: bool = True,
     backend: str = "auto",
+    jobs: int = 1,
+    chunk_size: int | None = None,
 ) -> str:
     table = build_table_iv(
-        trials=trials,
-        seed=seed,
+        trials=DEFAULT_TRIALS if trials is None else trials,
+        seed=DEFAULT_SEED if seed is None else seed,
         rs_device_policy=rs_device_policy,
         backend=backend,
+        jobs=jobs,
+        chunk_size=chunk_size,
     )
     report = render(table)
     print(report)

@@ -1,0 +1,72 @@
+"""Streaming, multi-process Monte-Carlo orchestration.
+
+Layered over the PR-1/PR-2 batch engines, this package scales the MSED
+studies past one process while keeping memory flat in trial count:
+
+* :mod:`~repro.orchestrate.rng` — counter-based randomness: every draw
+  is a pure hash of ``(stream key, global trial index)``, so the trial
+  stream is identical under any chunking;
+* :mod:`~repro.orchestrate.plan` — :func:`plan_chunks` splits a run
+  into :class:`Chunk` ranges (the streaming unit);
+* :mod:`~repro.orchestrate.corruption` — chunk-addressable corruption
+  generators for both code families;
+* :mod:`~repro.orchestrate.worker` / :mod:`~repro.orchestrate.pool` —
+  picklable :class:`ChunkTask` specs, the per-worker runner cache, and
+  :func:`run_sharded`, which fans design points x chunks over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` and folds the
+  mergeable tallies;
+* :mod:`~repro.orchestrate.sweep` — :func:`run_all`, the concurrent
+  ``repro-muse all`` sweep with captured reports and a results
+  directory.
+
+The invariant every piece preserves: for a fixed master seed the folded
+tally of a run is **byte-identical** for every ``(chunk_size, jobs)``
+combination, including ``jobs=1`` vs ``jobs>1``.
+"""
+
+from repro.orchestrate.plan import (
+    Chunk,
+    DEFAULT_CHUNK_SIZE,
+    plan_chunks,
+    resolve_chunk_size,
+)
+from repro.orchestrate.pool import ProgressCallback, map_unordered, run_sharded
+from repro.orchestrate.rng import counter_draws, derive_key, mix64, trial_seed
+from repro.orchestrate.sweep import (
+    EXPERIMENT_TARGETS,
+    ExperimentTask,
+    SweepOutcome,
+    resolve_experiment,
+    run_all,
+)
+from repro.orchestrate.worker import (
+    ChunkTask,
+    CodeRef,
+    MuseSimSpec,
+    RsSimSpec,
+    run_chunk_task,
+)
+
+__all__ = [
+    "Chunk",
+    "ChunkTask",
+    "CodeRef",
+    "DEFAULT_CHUNK_SIZE",
+    "EXPERIMENT_TARGETS",
+    "ExperimentTask",
+    "MuseSimSpec",
+    "ProgressCallback",
+    "RsSimSpec",
+    "SweepOutcome",
+    "counter_draws",
+    "derive_key",
+    "map_unordered",
+    "mix64",
+    "plan_chunks",
+    "resolve_chunk_size",
+    "resolve_experiment",
+    "run_all",
+    "run_chunk_task",
+    "run_sharded",
+    "trial_seed",
+]

@@ -1,0 +1,209 @@
+"""Chunk-addressable Monte-Carlo corruption generation.
+
+The single source of the MSED corruption streams: the encode-then-
+corrupt recipe with every random draw a counter hash of the **global
+trial index** (:mod:`repro.orchestrate.rng`).  Trial ``t`` therefore
+receives the same data word, the same ``k`` corrupted symbols and the
+same replacement values whether it is generated inside a monolithic
+run, a 65536-trial chunk, or a 1-trial sliver on another process —
+which is what makes chunk tallies a pure, split-invariant fold.  The
+whole-run generators (:func:`repro.engine.msed_corruption_batch`,
+:func:`repro.rs.engine.rs_msed_corruption_batch`) are thin wrappers
+over the chunk forms here.
+
+Per trial the draws are fixed-count and stream-separated:
+
+* ``(DATA, column)`` — raw data limbs / symbols
+  (:func:`muse_clean_chunk` / :func:`rs_clean_chunk` stop here, which
+  is how tests recover the pre-corruption words);
+* ``(CHOICE, symbol)`` — one uint64 score per symbol; the corrupted
+  set is the ``k`` smallest scores (distinct by construction);
+* ``(VALUE, slot)`` — the replacement draw for each corrupted slot,
+  reduced mod ``2^w - 1`` and stepped over the original value, so the
+  replacement is never the original.  (The mod introduces a bias of
+  order ``2^(w-64)`` — vanishing for the <= 16-bit symbols here.)
+
+Requires numpy (these are the generators, not decoders); the numpy-free
+sequential simulator paths derive per-trial :class:`random.Random`
+seeds from the same counter hash instead.
+"""
+
+from __future__ import annotations
+
+from repro.engine.base import BackendUnavailableError
+from repro.orchestrate.plan import Chunk
+from repro.orchestrate.rng import counter_draws, derive_key
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None
+
+#: Stream tags keeping the three per-trial draw families independent.
+STREAM_DATA = 0
+STREAM_CHOICE = 1
+STREAM_VALUE = 2
+
+
+def _require_numpy() -> None:
+    if np is None:
+        raise BackendUnavailableError(
+            "numpy is required for bulk trial generation"
+        )
+
+
+def _trial_counters(chunk: Chunk) -> "np.ndarray":
+    return np.arange(chunk.start, chunk.stop, dtype=np.uint64)
+
+
+def _choose_symbols(
+    key: int, trials: "np.ndarray", symbol_count: int, k_symbols: int
+) -> "np.ndarray":
+    """The ``k`` distinct corrupted symbols per trial: k smallest of
+    ``symbol_count`` iid uint64 scores (per-row, so split-invariant)."""
+    scores = np.empty((trials.size, symbol_count), dtype=np.uint64)
+    for index in range(symbol_count):
+        scores[:, index] = counter_draws(
+            derive_key(key, STREAM_CHOICE, index), trials
+        )
+    return np.argpartition(scores, k_symbols - 1, axis=1)[:, :k_symbols]
+
+
+def _replace_chosen_symbols(
+    key: int,
+    trials: "np.ndarray",
+    chosen: "np.ndarray",
+    widths,
+    read,
+    write,
+) -> None:
+    """Overwrite every chosen symbol with a fresh never-the-original
+    value — the one replace loop both code families share.
+
+    ``read(rows, index)`` returns the current symbol values as uint64;
+    ``write(rows, index, values)`` stores uint64 values back (casting
+    to the family's dtype as needed).
+    """
+    for slot in range(chosen.shape[1]):
+        draws = counter_draws(derive_key(key, STREAM_VALUE, slot), trials)
+        slot_symbols = chosen[:, slot]
+        for index, width in enumerate(widths):
+            rows = np.flatnonzero(slot_symbols == index)
+            if rows.size == 0:
+                continue
+            original = read(rows, index)
+            # Uniform over the 2^w - 1 values != original: reduce into a
+            # range one short and step over the original.
+            draw = draws[rows] % np.uint64((1 << width) - 1)
+            write(rows, index, draw + (draw >= original).astype(np.uint64))
+
+
+def muse_clean_chunk(code, chunk: Chunk, key: int):
+    """Encode chunk trials of the MUSE data stream (no corruption).
+
+    Returns the ``(chunk.size, limbs)`` uint64 clean-codeword batch the
+    corruption stream starts from.
+    """
+    _require_numpy()
+    from repro.engine import get_engine
+    from repro.engine.limbs import int_to_limb_row
+
+    engine = get_engine(code, "numpy")
+    trials = _trial_counters(chunk)
+    data = np.empty((trials.size, engine.limbs), dtype=np.uint64)
+    for limb in range(engine.limbs):
+        data[:, limb] = counter_draws(derive_key(key, STREAM_DATA, limb), trials)
+    data &= int_to_limb_row((1 << code.k) - 1, engine.limbs)
+    return engine.encode_limbs(data)
+
+
+def muse_corruption_chunk(code, chunk: Chunk, key: int, k_symbols: int = 2):
+    """Generate chunk trials of the MUSE MSED corruption stream.
+
+    Returns a ``(chunk.size, limbs)`` uint64 batch of corrupted
+    codewords, consumable by any :class:`~repro.engine.base.DecodeEngine`.
+    ``key`` is :func:`repro.orchestrate.rng.derive_key` of the run's
+    master seed.
+    """
+    _require_numpy()
+    from repro.engine.numpy_backend import (
+        extract_symbol_batch,
+        insert_symbol_batch,
+    )
+
+    layout = code.layout
+    if not 1 <= k_symbols <= layout.symbol_count:
+        raise ValueError(
+            f"k_symbols must be in [1, {layout.symbol_count}], got {k_symbols}"
+        )
+    trials = _trial_counters(chunk)
+    words = muse_clean_chunk(code, chunk, key)
+
+    def read(rows, index):
+        return extract_symbol_batch(words[rows], layout, index)
+
+    def write(rows, index, values):
+        insert_symbol_batch(words, layout, index, values, rows)
+
+    _replace_chosen_symbols(
+        key,
+        trials,
+        _choose_symbols(key, trials, layout.symbol_count, k_symbols),
+        [len(symbol) for symbol in layout.symbols],
+        read,
+        write,
+    )
+    return words
+
+
+def rs_clean_chunk(code, chunk: Chunk, key: int):
+    """Encode chunk trials of the RS data stream (no corruption).
+
+    Returns the ``(chunk.size, n_symbols)`` uint32 clean-codeword batch
+    the corruption stream starts from.
+    """
+    _require_numpy()
+    from repro.rs.engine import get_rs_engine
+
+    engine = get_rs_engine(code, "numpy")
+    trials = _trial_counters(chunk)
+    data = np.empty((trials.size, code.data_symbols), dtype=np.uint32)
+    for index in range(code.data_symbols):
+        width = code.symbol_widths[index]
+        data[:, index] = (
+            counter_draws(derive_key(key, STREAM_DATA, index), trials)
+            & np.uint64((1 << width) - 1)
+        ).astype(np.uint32)
+    return engine.encode_arrays(data)
+
+
+def rs_corruption_chunk(code, chunk: Chunk, key: int, k_symbols: int = 2):
+    """Generate chunk trials of the RS MSED corruption stream.
+
+    Returns a ``(chunk.size, n_symbols)`` uint32 batch of corrupted
+    codewords — the RS analogue of :func:`muse_corruption_chunk`, with
+    the same split-invariance.
+    """
+    _require_numpy()
+    if not 1 <= k_symbols <= code.n_symbols:
+        raise ValueError(
+            f"k_symbols must be in [1, {code.n_symbols}], got {k_symbols}"
+        )
+    trials = _trial_counters(chunk)
+    words = rs_clean_chunk(code, chunk, key)
+
+    def read(rows, index):
+        return words[rows, index].astype(np.uint64)
+
+    def write(rows, index, values):
+        words[rows, index] = values.astype(np.uint32)
+
+    _replace_chosen_symbols(
+        key,
+        trials,
+        _choose_symbols(key, trials, code.n_symbols, k_symbols),
+        code.symbol_widths,
+        read,
+        write,
+    )
+    return words

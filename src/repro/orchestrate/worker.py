@@ -1,0 +1,122 @@
+"""Picklable shard tasks and the worker-side runner cache.
+
+A shard task must cross a process boundary, so it carries *recipes*,
+not objects: a :class:`CodeRef` names a zero-argument-cheap factory
+("module:callable" plus args) that the worker calls to rebuild the code
+— the expensive per-code state (ELC tables, engine lookup tables) is
+built once per worker and cached, instead of being pickled per task.
+
+The contract a spec implements:
+
+* it is a frozen (hashable, picklable) dataclass;
+* ``spec.build()`` returns a *runner* exposing
+  ``run_chunk(chunk, key) -> tally`` where the tally supports
+  ``merge`` (associative fold, see :class:`MsedTally`).
+
+:func:`run_chunk_task` is the function the process pool actually
+executes; :mod:`repro.orchestrate.pool` folds its results by group.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Any
+
+from repro.orchestrate.plan import Chunk
+
+
+@dataclass(frozen=True)
+class CodeRef:
+    """A picklable reference to a code factory: ``"module:callable"``.
+
+    Examples: ``CodeRef("repro.core.codes:muse_80_69")``,
+    ``CodeRef("repro.reliability.monte_carlo:muse_design_point", (3,))``.
+    """
+
+    target: str
+    args: tuple = ()
+
+    def build(self) -> Any:
+        module_name, sep, attr = self.target.partition(":")
+        if not sep or not attr:
+            raise ValueError(
+                f"CodeRef target must look like 'module:callable', "
+                f"got {self.target!r}"
+            )
+        factory = getattr(importlib.import_module(module_name), attr)
+        return factory(*self.args)
+
+
+@dataclass(frozen=True)
+class MuseSimSpec:
+    """Rebuild a :class:`MuseMsedSimulator` inside a worker."""
+
+    code: CodeRef
+    k_symbols: int = 2
+    ripple_check: bool = True
+    backend: str = "auto"
+
+    def build(self):
+        from repro.reliability.monte_carlo import MuseMsedSimulator
+
+        return MuseMsedSimulator(
+            self.code.build(),
+            k_symbols=self.k_symbols,
+            ripple_check=self.ripple_check,
+            backend=self.backend,
+        )
+
+
+@dataclass(frozen=True)
+class RsSimSpec:
+    """Rebuild an :class:`RsMsedSimulator` inside a worker."""
+
+    code: CodeRef
+    k_symbols: int = 2
+    device_bits: int | None = 4
+    backend: str = "auto"
+
+    def build(self):
+        from repro.reliability.monte_carlo import RsMsedSimulator
+
+        return RsMsedSimulator(
+            self.code.build(),
+            k_symbols=self.k_symbols,
+            device_bits=self.device_bits,
+            backend=self.backend,
+        )
+
+
+@dataclass(frozen=True)
+class ChunkTask:
+    """One shard: run ``spec``'s chunk ``chunk`` of stream ``key``.
+
+    ``group`` labels which logical run (design point, experiment row)
+    the resulting tally folds into.
+    """
+
+    group: Any
+    spec: Any
+    chunk: Chunk
+    key: int
+
+
+#: Per-process runner cache: spec -> built runner.  Specs are frozen
+#: dataclasses, so equality/hash are structural and a forked or spawned
+#: worker rebuilds each distinct runner exactly once.
+_RUNNERS: dict[Any, Any] = {}
+
+
+def runner_for(spec: Any) -> Any:
+    runner = _RUNNERS.get(spec)
+    if runner is None:
+        runner = spec.build()
+        _RUNNERS[spec] = runner
+    return runner
+
+
+def run_chunk_task(task: ChunkTask) -> tuple[Any, Any]:
+    """Execute one shard; the pool's sole entry point into a worker."""
+    runner = runner_for(task.spec)
+    return task.group, runner.run_chunk(task.chunk, task.key)

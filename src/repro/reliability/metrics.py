@@ -60,6 +60,24 @@ class MsedTally:
         self.miscorrected += miscorrected
         self.silent += silent
 
+    def merge(self, other: "MsedTally | MsedResult") -> "MsedTally":
+        """Fold another tally (or frozen result) into this one.
+
+        Associative and commutative — plain integer addition — so a
+        chunked run's tally is a pure fold of its chunk tallies, in any
+        order, without ever materialising per-trial arrays.  Returns
+        ``self`` for chaining.
+        """
+        self.trials += other.trials
+        self.detected_no_match += other.detected_no_match
+        self.detected_confinement += other.detected_confinement
+        self.miscorrected += other.miscorrected
+        self.silent += other.silent
+        return self
+
+    def __iadd__(self, other: "MsedTally | MsedResult") -> "MsedTally":
+        return self.merge(other)
+
     def freeze(self) -> "MsedResult":
         return MsedResult(
             trials=self.trials,

@@ -16,6 +16,14 @@ Two decoders participate:
   decoder would require (a real single-device failure can never span
   two devices).  Without this policy RS MSED drops by roughly its
   locator-validity factor; the ablation flag lets you measure both.
+
+Execution is *streamed*: a run is split into fixed-size chunks
+(:mod:`repro.orchestrate.plan`) whose corruption streams are counter
+hashes of the global trial index, so every chunk's tally is a pure
+fold term and memory stays flat however many trials the run totals.
+``run(..., jobs=N)`` fans the chunks over a process pool; for a fixed
+master seed the folded tally is byte-identical for every
+``(chunk_size, jobs)`` combination and across decode backends.
 """
 
 from __future__ import annotations
@@ -28,11 +36,15 @@ from repro.core.codec import DecodeStatus, DetectionReason, MuseCode
 from repro.core.error_model import SymbolErrorModel
 from repro.core.search import MultiplierSearch
 from repro.core.symbols import SymbolLayout
-from repro.engine import (
-    BackendUnavailableError,
-    get_engine,
-    msed_corruption_batch,
+from repro.engine import BackendUnavailableError, get_engine
+from repro.orchestrate.corruption import (
+    muse_corruption_chunk,
+    rs_corruption_chunk,
 )
+from repro.orchestrate.plan import Chunk, plan_chunks
+from repro.orchestrate.pool import ProgressCallback, run_sharded
+from repro.orchestrate.rng import derive_key, trial_seed
+from repro.orchestrate.worker import ChunkTask, CodeRef, MuseSimSpec, RsSimSpec
 from repro.reliability.metrics import (
     DesignPoint,
     MsedResult,
@@ -40,46 +52,120 @@ from repro.reliability.metrics import (
     TableIV,
 )
 from repro.rs.chipkill import assess
-from repro.rs.engine import (
-    device_confined,
-    get_rs_engine,
-    rs_msed_corruption_batch,
-)
+from repro.rs.engine import device_confined, get_rs_engine
 from repro.rs.reed_solomon import RSCode, RSDecodeStatus, rs_for_channel
+
+
+def _as_code_ref(code_ref: "CodeRef | str | None") -> CodeRef:
+    if code_ref is None:
+        raise ValueError(
+            "multi-process runs rebuild the code in each worker and need "
+            "a picklable code_ref, e.g. "
+            "CodeRef('repro.core.codes:muse_80_69') or the 'module:callable' "
+            "string directly"
+        )
+    if isinstance(code_ref, CodeRef):
+        return code_ref
+    return CodeRef(code_ref)
+
+
+def _muse_signature(code: MuseCode) -> tuple:
+    return (code.n, code.m, code.layout.symbols)
+
+
+def _rs_signature(code: RSCode) -> tuple:
+    return (code.symbol_bits, code.data_symbols, code.partial_bits)
+
+
+def _checked_code_ref(code_ref, code, signature) -> CodeRef:
+    """Resolve ``code_ref`` and prove it rebuilds *this* code.
+
+    Workers tally whatever the ref's factory returns, so a ref naming a
+    different code would silently break the jobs-invariance contract;
+    one parent-side rebuild per run catches the mismatch up front.
+    """
+    ref = _as_code_ref(code_ref)
+    rebuilt = ref.build()
+    if signature(rebuilt) != signature(code):
+        raise ValueError(
+            f"code_ref {ref.target!r} (args={ref.args!r}) rebuilds "
+            f"{rebuilt!r}, which does not match this simulator's code "
+            f"{code!r}; workers would tally a different code"
+        )
+    return ref
+
+
+def _streamed_run(
+    simulator,
+    trials: int,
+    seed: int,
+    jobs: int,
+    chunk_size: int | None,
+    progress: ProgressCallback | None,
+) -> MsedResult:
+    """One simulator's run is the single-point case of the shared
+    design-point grid runner — one skeleton, never two to keep in sync.
+    """
+    return run_design_points(
+        [simulator], trials, seed, jobs, chunk_size, progress
+    )[0]
 
 
 @dataclass
 class MuseMsedSimulator:
     """Inject k-symbol errors into a MUSE code and classify outcomes.
 
-    Corruptions are generated in bulk by
-    :func:`repro.engine.msed_corruption_batch` and classified from one
-    vectorised batch decode.  ``backend`` selects the decode engine
-    ("scalar", "numpy" or "auto"); the sampled trial stream does not
-    depend on it, so the tallies of a fixed ``(trials, seed)`` run are
-    byte-identical across backends — the cross-backend equivalence the
-    engine tests and benchmarks pin.
+    Corruptions are generated chunk by chunk by
+    :func:`repro.orchestrate.corruption.muse_corruption_chunk` and
+    classified by vectorised batch decodes.  ``backend`` selects the
+    decode engine ("scalar", "numpy" or "auto"); the counter-hashed
+    trial stream depends on neither the backend nor the chunking, so
+    the tally of a fixed ``(trials, seed)`` run is byte-identical
+    across backends and across every ``(chunk_size, jobs)`` split.
+
+    ``code_ref`` (a :class:`~repro.orchestrate.worker.CodeRef` or a
+    ``"module:callable"`` string) is only needed for ``jobs > 1``: it
+    lets worker processes rebuild the code instead of pickling it.
 
     Without numpy the simulator transparently falls back to the
-    sequential big-int path (whose :class:`random.Random` stream
-    differs from the vectorised generator's).
+    sequential big-int path, whose per-trial :class:`random.Random`
+    streams are seeded from the same counter hash — still
+    split-invariant, though distinct from the vectorised generator's
+    stream.
     """
 
     code: MuseCode
     k_symbols: int = 2
     ripple_check: bool = True
     backend: str = "auto"
+    code_ref: CodeRef | str | None = None
 
-    def run(self, trials: int = 10_000, seed: int = 2022) -> MsedResult:
+    def run(
+        self,
+        trials: int = 10_000,
+        seed: int = 2022,
+        *,
+        jobs: int = 1,
+        chunk_size: int | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> MsedResult:
+        return _streamed_run(self, trials, seed, jobs, chunk_size, progress)
+
+    def run_chunk(self, chunk: Chunk, key: int) -> MsedTally:
+        """Classify one chunk of the stream keyed by ``key``.
+
+        The unit of work the shard runner executes; folding the
+        returned tallies over a run's chunks reproduces ``run``.
+        """
         try:
-            words = msed_corruption_batch(self.code, trials, seed, self.k_symbols)
+            words = muse_corruption_chunk(self.code, chunk, key, self.k_symbols)
             engine = get_engine(
                 self.code, self.backend, ripple_check=self.ripple_check
             )
         except BackendUnavailableError:
             if self.backend == "numpy":
                 raise  # an explicit request must not silently degrade
-            return self._run_sequential(trials, seed)
+            return self._sequential_chunk(chunk, key)
         clean, corrected, no_match, ripple = engine.decode_batch(words).counts()
         tally = MsedTally()
         # k >= 2 symbols were corrupted, so a delivered word is never
@@ -92,15 +178,27 @@ class MuseMsedSimulator:
             detected_no_match=no_match,
             detected_confinement=ripple,
         )
-        return tally.freeze()
+        return tally
+
+    def _task_spec(self) -> MuseSimSpec:
+        return MuseSimSpec(
+            code=_checked_code_ref(self.code_ref, self.code, _muse_signature),
+            k_symbols=self.k_symbols,
+            ripple_check=self.ripple_check,
+            backend=self.backend,
+        )
 
     def _run_sequential(self, trials: int, seed: int) -> MsedResult:
-        """Numpy-free fallback: the original one-word-at-a-time loop."""
-        rng = random.Random(seed)
+        """Numpy-free fallback: the per-trial big-int loop."""
+        return self._sequential_chunk(Chunk(0, trials), derive_key(seed)).freeze()
+
+    def _sequential_chunk(self, chunk: Chunk, key: int) -> MsedTally:
+        """One-word-at-a-time chunk, per-trial counter-seeded RNGs."""
         code = self.code
         layout = code.layout
         tally = MsedTally()
-        for _ in range(trials):
+        for trial in range(chunk.start, chunk.stop):
+            rng = random.Random(trial_seed(key, trial))
             data = rng.randrange(1 << code.k)
             codeword = code.encode(data)
             corrupted = self._corrupt(codeword, layout, rng)
@@ -116,7 +214,7 @@ class MuseMsedSimulator:
                 tally.record_detected_no_match()
             else:
                 tally.record_detected_confinement()
-        return tally.freeze()
+        return tally
 
     def _corrupt(
         self, codeword: int, layout: SymbolLayout, rng: random.Random
@@ -139,32 +237,44 @@ class RsMsedSimulator:
 
     ``device_bits`` enables the device-confinement decode policy
     (defaults to x4, matching the paper's DIMMs); ``None`` disables it.
-    Like :class:`MuseMsedSimulator`, corruptions come from one shared
-    vectorised generator (:func:`repro.rs.engine.rs_msed_corruption_batch`)
-    and ``backend`` only selects the decode engine, so the tallies of a
-    fixed ``(trials, seed)`` run are byte-identical across backends.
-    Without numpy the simulator falls back to the sequential path
-    (whose :class:`random.Random` stream differs from the vectorised
-    generator's).
+    Like :class:`MuseMsedSimulator`, corruptions come from the shared
+    counter-hashed chunk generator
+    (:func:`repro.orchestrate.corruption.rs_corruption_chunk`), so the
+    tally of a fixed ``(trials, seed)`` run is byte-identical across
+    backends and every ``(chunk_size, jobs)`` split.  ``code_ref``
+    names a factory for worker processes (``jobs > 1``).  Without
+    numpy the simulator falls back to the sequential path (per-trial
+    counter-seeded RNGs, split-invariant but a distinct stream).
     """
 
     code: RSCode
     k_symbols: int = 2
     device_bits: int | None = 4
     backend: str = "auto"
+    code_ref: CodeRef | str | None = None
 
-    def run(self, trials: int = 10_000, seed: int = 2022) -> MsedResult:
+    def run(
+        self,
+        trials: int = 10_000,
+        seed: int = 2022,
+        *,
+        jobs: int = 1,
+        chunk_size: int | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> MsedResult:
+        return _streamed_run(self, trials, seed, jobs, chunk_size, progress)
+
+    def run_chunk(self, chunk: Chunk, key: int) -> MsedTally:
+        """Classify one chunk of the stream keyed by ``key``."""
         try:
-            words = rs_msed_corruption_batch(
-                self.code, trials, seed, self.k_symbols
-            )
+            words = rs_corruption_chunk(self.code, chunk, key, self.k_symbols)
             engine = get_rs_engine(
                 self.code, self.backend, device_bits=self.device_bits
             )
         except BackendUnavailableError:
             if self.backend == "numpy":
                 raise  # an explicit request must not silently degrade
-            return self._run_sequential(trials, seed)
+            return self._sequential_chunk(chunk, key)
         clean, corrected, no_match, confinement = engine.decode_batch(
             words
         ).counts()
@@ -178,14 +288,26 @@ class RsMsedSimulator:
             detected_no_match=no_match,
             detected_confinement=confinement,
         )
-        return tally.freeze()
+        return tally
+
+    def _task_spec(self) -> RsSimSpec:
+        return RsSimSpec(
+            code=_checked_code_ref(self.code_ref, self.code, _rs_signature),
+            k_symbols=self.k_symbols,
+            device_bits=self.device_bits,
+            backend=self.backend,
+        )
 
     def _run_sequential(self, trials: int, seed: int) -> MsedResult:
-        """Numpy-free fallback: the original one-word-at-a-time loop."""
-        rng = random.Random(seed)
+        """Numpy-free fallback: the per-trial loop."""
+        return self._sequential_chunk(Chunk(0, trials), derive_key(seed)).freeze()
+
+    def _sequential_chunk(self, chunk: Chunk, key: int) -> MsedTally:
+        """One-word-at-a-time chunk, per-trial counter-seeded RNGs."""
         code = self.code
         tally = MsedTally()
-        for _ in range(trials):
+        for trial in range(chunk.start, chunk.stop):
+            rng = random.Random(trial_seed(key, trial))
             data = self._random_data(rng)
             codeword = list(code.encode(data))
             self._corrupt(codeword, rng)
@@ -201,7 +323,7 @@ class RsMsedSimulator:
                 tally.record_detected_confinement()
             else:
                 tally.record_miscorrected()
-        return tally.freeze()
+        return tally
 
     def _random_data(self, rng: random.Random) -> list[int]:
         code = self.code
@@ -281,51 +403,127 @@ def rs_design_point(extra_bits: int) -> RSCode:
     return rs_for_channel(8 - extra_bits // 2, 144)
 
 
+_SELF = "repro.reliability.monte_carlo"
+
+
+def run_design_points(
+    simulators: "list[MuseMsedSimulator | RsMsedSimulator]",
+    trials: int,
+    seed: int,
+    jobs: int = 1,
+    chunk_size: int | None = None,
+    progress: ProgressCallback | None = None,
+) -> list[MsedResult]:
+    """Run every simulator over the same chunk plan and master seed.
+
+    ``jobs > 1`` fans the full design-points x chunks grid over **one**
+    process pool (no per-point barriers, one worker spin-up for the
+    whole grid); ``jobs = 1`` streams the same chunks in process.
+    Either way each point's tally is the identical fold of identical
+    chunk tallies, so results are positionally aligned with
+    ``simulators`` and independent of ``jobs``/``chunk_size``.
+    """
+    chunks = plan_chunks(trials, chunk_size)
+    key = derive_key(seed)
+    if jobs > 1:
+        # One spec per simulator, hoisted out of the chunk loop: each
+        # _task_spec() rebuilds the code for its consistency check, and
+        # a large run has thousands of chunks per point.
+        specs = [simulator._task_spec() for simulator in simulators]
+        tasks = [
+            ChunkTask(index, spec, chunk, key)
+            for index, spec in enumerate(specs)
+            for chunk in chunks
+        ]
+        folded = run_sharded(tasks, jobs, progress)
+        return [
+            folded.get(index, MsedTally()).freeze()
+            for index in range(len(simulators))
+        ]
+    results = []
+    total = len(simulators) * len(chunks)
+    done = 0
+    for simulator in simulators:
+        tally = MsedTally()
+        for chunk in chunks:
+            tally.merge(simulator.run_chunk(chunk, key))
+            done += 1
+            if progress is not None:
+                progress(done, total)
+        results.append(tally.freeze())
+    return results
+
+
 def build_table_iv(
     trials: int = 10_000,
     seed: int = 2022,
     k_symbols: int = 2,
     rs_device_policy: bool = True,
     backend: str = "auto",
+    jobs: int = 1,
+    chunk_size: int | None = None,
+    progress: ProgressCallback | None = None,
 ) -> TableIV:
     """Run every design point and assemble the paper's Table IV.
 
     ``backend`` selects the decode engine for *both* families (MUSE and
-    RS batch engines); the tallies are backend-independent for a fixed
-    seed, so one flag accelerates the whole table without changing it.
+    RS batch engines); ``jobs`` fans design points x chunks over a
+    process pool and ``chunk_size`` bounds per-chunk memory.  None of
+    the three changes the tallies of a fixed ``(trials, seed)`` table —
+    one flag set accelerates the whole table without altering it.
     """
-    table = TableIV()
+    entries: list[tuple[str, int, object]] = []
+    simulators: list[MuseMsedSimulator | RsMsedSimulator] = []
     for extra_bits in range(0, 6):
         code = muse_design_point(extra_bits)
-        simulator = MuseMsedSimulator(code, k_symbols=k_symbols, backend=backend)
-        result = simulator.run(trials, seed)
-        table.add(
-            DesignPoint(
-                family="MUSE",
-                extra_bits=extra_bits,
-                label=f"{code.name} m={code.m}",
-                chipkill=True,
-                result=result,
+        simulators.append(
+            MuseMsedSimulator(
+                code,
+                k_symbols=k_symbols,
+                backend=backend,
+                code_ref=CodeRef(f"{_SELF}:muse_design_point", (extra_bits,)),
             )
         )
+        entries.append(("MUSE", extra_bits, code))
     for extra_bits in (0, 2, 4, 6):
         code = rs_design_point(extra_bits)
-        simulator = RsMsedSimulator(
-            code,
-            k_symbols=k_symbols,
-            device_bits=4 if rs_device_policy else None,
-            backend=backend,
-        )
-        result = simulator.run(trials, seed)
-        verdict = assess(code.symbol_bits, 4, 144)
-        table.add(
-            DesignPoint(
-                family="RS",
-                extra_bits=extra_bits,
-                label=repr(code),
-                chipkill=verdict.chipkill,
-                result=result,
-                note="" if verdict.chipkill else verdict.explain(),
+        simulators.append(
+            RsMsedSimulator(
+                code,
+                k_symbols=k_symbols,
+                device_bits=4 if rs_device_policy else None,
+                backend=backend,
+                code_ref=CodeRef(f"{_SELF}:rs_design_point", (extra_bits,)),
             )
         )
+        entries.append(("RS", extra_bits, code))
+
+    results = run_design_points(
+        simulators, trials, seed, jobs, chunk_size, progress
+    )
+
+    table = TableIV()
+    for (family, extra_bits, code), result in zip(entries, results):
+        if family == "MUSE":
+            table.add(
+                DesignPoint(
+                    family="MUSE",
+                    extra_bits=extra_bits,
+                    label=f"{code.name} m={code.m}",
+                    chipkill=True,
+                    result=result,
+                )
+            )
+        else:
+            verdict = assess(code.symbol_bits, 4, 144)
+            table.add(
+                DesignPoint(
+                    family="RS",
+                    extra_bits=extra_bits,
+                    label=repr(code),
+                    chipkill=verdict.chipkill,
+                    result=result,
+                    note="" if verdict.chipkill else verdict.explain(),
+                )
+            )
     return table

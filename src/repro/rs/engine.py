@@ -320,17 +320,6 @@ class NumpyRsEngine(RsDecodeEngine):
             )
         return batch
 
-    def random_data_batch(self, rng: np.random.Generator, trials: int) -> np.ndarray:
-        """Uniform random data symbols honouring per-symbol widths."""
-        code = self.code
-        data = np.empty((trials, code.data_symbols), dtype=np.uint32)
-        for index in range(code.data_symbols):
-            width = code.symbol_widths[index]
-            data[:, index] = rng.integers(
-                0, 1 << width, size=trials, dtype=np.uint32
-            )
-        return data
-
     # -- encode --------------------------------------------------------
 
     def encode_arrays(self, data: np.ndarray) -> np.ndarray:
@@ -464,40 +453,19 @@ def rs_msed_corruption_batch(
     Returns a ``(trials, n_symbols)`` uint32 batch of corrupted
     codewords, consumable by either backend — the RS analogue of
     :func:`repro.engine.msed_corruption_batch`, and the reason a fixed
-    ``(trials, seed)`` run tallies identically scalar-vs-numpy.
-    Requires numpy (it is the generator, not a decoder).
+    ``(trials, seed)`` run tallies identically scalar-vs-numpy.  A thin
+    wrapper over chunk ``[0, trials)`` of the counter-hashed stream in
+    :mod:`repro.orchestrate.corruption`, so the monolithic and chunked
+    generators can never diverge.  Requires numpy (it is the
+    generator, not a decoder).
     """
-    if np is None:
-        raise BackendUnavailableError(
-            "numpy is required for bulk trial generation"
-        )
-    if not 1 <= k_symbols <= code.n_symbols:
-        raise ValueError(
-            f"k_symbols must be in [1, {code.n_symbols}], got {k_symbols}"
-        )
-    engine = get_rs_engine(code, "numpy")
-    rng = np.random.default_rng(seed)
-    words = engine.encode_arrays(engine.random_data_batch(rng, trials))
+    from repro.orchestrate.corruption import rs_corruption_chunk
+    from repro.orchestrate.plan import Chunk
+    from repro.orchestrate.rng import derive_key
 
-    # k distinct symbols per row: the k smallest of S iid uniforms.
-    scores = rng.random((trials, code.n_symbols))
-    chosen = np.argpartition(scores, k_symbols - 1, axis=1)[:, :k_symbols]
-
-    for slot in range(k_symbols):
-        slot_symbols = chosen[:, slot]
-        for index in range(code.n_symbols):
-            rows = np.flatnonzero(slot_symbols == index)
-            if rows.size == 0:
-                continue
-            width = code.symbol_widths[index]
-            original = words[rows, index]
-            # Uniform over the 2^w - 1 values != original: draw from a
-            # range one short and step over the original.
-            draw = rng.integers(
-                0, (1 << width) - 1, size=rows.size, dtype=np.uint32
-            )
-            words[rows, index] = draw + (draw >= original).astype(np.uint32)
-    return words
+    return rs_corruption_chunk(
+        code, Chunk(0, trials), derive_key(seed), k_symbols
+    )
 
 
 __all__ = [

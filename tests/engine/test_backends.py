@@ -236,20 +236,18 @@ class TestTrialGeneration:
 
     @requires_numpy
     def test_every_word_has_exactly_k_corrupted_symbols(self):
-        """Replay the generator's stream prefix to recover the clean
-        words, then diff symbols against the corrupted batch."""
-        import numpy as np
-
+        """Recover the clean words from the shared counter-hashed data
+        stream, then diff symbols against the corrupted batch."""
         from repro.engine.limbs import limbs_to_ints
+        from repro.orchestrate import Chunk, derive_key
+        from repro.orchestrate.corruption import muse_clean_chunk
 
         code = muse_80_69()
         layout = code.layout
-        engine = get_engine(code, "numpy")
         for k in (1, 2, 3):
             seed = 40 + k
-            rng = np.random.default_rng(seed)
             clean = limbs_to_ints(
-                engine.encode_limbs(engine.random_data_batch(rng, 200))
+                muse_clean_chunk(code, Chunk(0, 200), derive_key(seed))
             )
             corrupted = limbs_to_ints(
                 msed_corruption_batch(code, 200, seed=seed, k_symbols=k)

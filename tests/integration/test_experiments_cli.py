@@ -54,6 +54,17 @@ class TestCli:
         args = parser.parse_args(["table1"])
         assert args.experiment == "table1"
 
+    def test_parallel_flags_parse_with_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["table4"])
+        assert args.jobs == 1
+        assert args.chunk_size is None
+        assert args.seed is None
+        args = parser.parse_args(
+            ["table4", "--jobs", "4", "--chunk-size", "4096", "--seed", "7"]
+        )
+        assert (args.jobs, args.chunk_size, args.seed) == (4, 4096, 7)
+
     def test_parser_rejects_unknown(self):
         parser = build_parser()
         with pytest.raises(SystemExit):
@@ -77,3 +88,98 @@ class TestCli:
         parser = build_parser()
         args = parser.parse_args(["pim", "--quick"])
         assert run(args) == 0
+
+
+class TestCliDispatch:
+    """The dispatch layer forwards every flag it claims to support."""
+
+    def _capture(self, monkeypatch, module, argv):
+        captured = {}
+
+        def fake_main(**kwargs):
+            captured.update(kwargs)
+            return ""
+
+        monkeypatch.setattr(module, "main", fake_main)
+        args = build_parser().parse_args(argv)
+        assert run(args) == 0
+        return captured
+
+    def test_extension_double_device_receives_trials(self, monkeypatch):
+        """Regression: dispatch used to call main(backend=...) only,
+        silently dropping --trials and --quick for this experiment."""
+        from repro import cli
+
+        captured = self._capture(
+            monkeypatch,
+            cli.extension_double_device,
+            ["extension-double-device", "--trials", "7"],
+        )
+        assert captured["trials"] == 7
+
+    def test_quick_never_grows_an_experiment(self, monkeypatch):
+        """--quick takes min(FAST_SETTINGS, published default): it
+        shrinks table4's 10k trials but must not inflate
+        extension-double-device's 400 to 2000."""
+        from repro import cli
+
+        captured = self._capture(
+            monkeypatch,
+            cli.extension_double_device,
+            ["extension-double-device", "--quick"],
+        )
+        assert captured["trials"] == cli.extension_double_device.DEFAULT_TRIALS
+        captured = self._capture(
+            monkeypatch, cli.table4, ["table4", "--quick"]
+        )
+        assert captured["trials"] == cli.FAST_SETTINGS["trials"]
+
+    @pytest.mark.parametrize(
+        "experiment",
+        ["table4", "ablation-shuffle", "ablation-frontier",
+         "extension-double-device"],
+    )
+    def test_monte_carlo_flags_threaded(self, monkeypatch, experiment):
+        from repro import cli
+
+        module = {
+            "table4": cli.table4,
+            "ablation-shuffle": cli.ablation_shuffle,
+            "ablation-frontier": cli.ablation_frontier,
+            "extension-double-device": cli.extension_double_device,
+        }[experiment]
+        captured = self._capture(
+            monkeypatch,
+            module,
+            [experiment, "--seed", "9", "--jobs", "3",
+             "--chunk-size", "128", "--trials", "50"],
+        )
+        assert captured["seed"] == 9
+        assert captured["jobs"] == 3
+        assert captured["chunk_size"] == 128
+        assert captured["trials"] == 50
+
+    def test_figure_traces_receive_seed(self, monkeypatch):
+        """--seed also reseeds the trace-sampling figures, not just the
+        Monte-Carlo experiments (same flag-dropping class as the
+        extension --trials regression)."""
+        from repro.experiments import figure6
+
+        captured = self._capture(
+            monkeypatch, figure6, ["figure6", "--seed", "42"]
+        )
+        assert captured["seed"] == 42
+
+    def test_defaults_left_to_each_experiment(self, monkeypatch):
+        """Without flags, per-experiment published defaults apply (no
+        trials/seed/chunk_size kwargs are forced on the experiment)."""
+        from repro import cli
+
+        captured = self._capture(
+            monkeypatch, cli.extension_double_device,
+            ["extension-double-device"],
+        )
+        assert "trials" not in captured
+        assert "seed" not in captured
+        assert "chunk_size" not in captured
+        assert captured["jobs"] == 1

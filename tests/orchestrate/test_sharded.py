@@ -1,0 +1,176 @@
+"""Sharded-run determinism: the orchestrator's headline invariant.
+
+For a fixed master seed, a simulator's tally must be **byte-identical**
+for every ``(chunk_size, jobs)`` combination — chunked vs monolithic,
+one process vs a pool — for both code families on both decode backends.
+"""
+
+import pytest
+
+from repro.core.codes import muse_80_69
+from repro.engine import available_backends
+from repro.orchestrate import Chunk, CodeRef, derive_key, plan_chunks
+from repro.orchestrate.pool import run_sharded
+from repro.orchestrate.worker import ChunkTask, MuseSimSpec
+from repro.reliability.metrics import MsedTally
+from repro.reliability.monte_carlo import (
+    MuseMsedSimulator,
+    RsMsedSimulator,
+    build_table_iv,
+)
+from repro.rs.reed_solomon import rs_144_128
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    HAVE_NUMPY = False
+
+requires_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+
+#: 193 = 3*64 + 1: chunk size 64 is a power of two *and* leaves a
+#: one-trial remainder chunk; 100 leaves a 93-trial remainder; 193 is
+#: the full run in a single chunk.
+TRIALS = 193
+CHUNK_SIZES = (64, 100, 193)
+JOBS = (1, 2)
+
+
+def _muse_simulator(backend):
+    return MuseMsedSimulator(
+        muse_80_69(),
+        backend=backend,
+        code_ref=CodeRef("repro.core.codes:muse_80_69"),
+    )
+
+
+def _rs_simulator(backend):
+    return RsMsedSimulator(
+        rs_144_128(),
+        backend=backend,
+        code_ref=CodeRef("repro.rs.reed_solomon:rs_144_128"),
+    )
+
+
+class TestChunkedDeterminism:
+    """Satellite: chunked-vs-monolithic equality, both families x
+    backends x chunk sizes x job counts."""
+
+    @pytest.mark.parametrize("backend", available_backends())
+    @pytest.mark.parametrize(
+        "make", (_muse_simulator, _rs_simulator), ids=("muse", "rs")
+    )
+    def test_tally_invariant_under_chunking_and_jobs(self, make, backend):
+        simulator = make(backend)
+        monolithic = simulator.run(TRIALS, seed=5)
+        for chunk_size in CHUNK_SIZES:
+            for jobs in JOBS:
+                result = simulator.run(
+                    TRIALS, seed=5, jobs=jobs, chunk_size=chunk_size
+                )
+                assert result == monolithic, (
+                    f"tally diverged at chunk_size={chunk_size} jobs={jobs} "
+                    f"backend={backend}"
+                )
+
+    def test_different_seeds_differ(self):
+        simulator = _muse_simulator("auto")
+        assert simulator.run(400, seed=1) != simulator.run(400, seed=2)
+
+    def test_chunk_fold_matches_run(self):
+        """run() is literally the fold of run_chunk over the plan."""
+        simulator = _muse_simulator("auto")
+        key = derive_key(9)
+        tally = MsedTally()
+        for chunk in plan_chunks(300, 77):
+            tally.merge(simulator.run_chunk(chunk, key))
+        assert tally.freeze() == simulator.run(300, seed=9, chunk_size=77)
+
+    def test_zero_trials(self):
+        result = _muse_simulator("auto").run(0, seed=1)
+        assert result.trials == 0
+
+
+class TestSimulatorSpecs:
+    def test_jobs_without_code_ref_raises(self):
+        simulator = MuseMsedSimulator(muse_80_69())
+        with pytest.raises(ValueError, match="code_ref"):
+            simulator.run(64, seed=1, jobs=2, chunk_size=32)
+
+    def test_string_code_ref_accepted(self):
+        simulator = MuseMsedSimulator(
+            muse_80_69(), code_ref="repro.core.codes:muse_80_69"
+        )
+        serial = simulator.run(96, seed=3)
+        assert simulator.run(96, seed=3, jobs=2, chunk_size=32) == serial
+
+    def test_bad_code_ref_target_rejected(self):
+        with pytest.raises(ValueError, match="module:callable"):
+            CodeRef("repro.core.codes.muse_80_69").build()
+
+    def test_mismatched_code_ref_rejected(self):
+        """A ref naming a *different* code must fail fast instead of
+        letting workers tally the wrong code."""
+        from repro.core.codes import muse_80_67
+
+        simulator = MuseMsedSimulator(
+            muse_80_67(), code_ref="repro.core.codes:muse_80_69"
+        )
+        with pytest.raises(ValueError, match="different code"):
+            simulator.run(64, seed=1, jobs=2, chunk_size=32)
+
+
+class TestRunSharded:
+    def test_groups_fold_independently(self):
+        spec = MuseSimSpec(code=CodeRef("repro.core.codes:muse_80_69"))
+        key = derive_key(4)
+        tasks = [
+            ChunkTask(group, spec, chunk, key)
+            for group in ("a", "b")
+            for chunk in plan_chunks(100, 40)
+        ]
+        folded = run_sharded(tasks, jobs=1)
+        assert set(folded) == {"a", "b"}
+        assert folded["a"].freeze() == folded["b"].freeze()
+        assert folded["a"].trials == 100
+
+    def test_progress_callback_counts_tasks(self):
+        spec = MuseSimSpec(code=CodeRef("repro.core.codes:muse_80_69"))
+        tasks = [
+            ChunkTask(0, spec, chunk, derive_key(4))
+            for chunk in plan_chunks(90, 30)
+        ]
+        seen = []
+        run_sharded(tasks, jobs=1, progress=lambda done, total: seen.append((done, total)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_worker_cache_reuses_runner(self):
+        from repro.orchestrate import worker
+
+        spec = MuseSimSpec(code=CodeRef("repro.core.codes:muse_80_69"))
+        first = worker.runner_for(spec)
+        assert worker.runner_for(spec) is first
+        assert worker.runner_for(
+            MuseSimSpec(code=CodeRef("repro.core.codes:muse_80_69"))
+        ) is first  # structural equality, not identity
+
+
+class TestTableIVSharded:
+    """Acceptance: build_table_iv tallies byte-identical across
+    (chunk_size, jobs), including jobs=1 vs jobs>1."""
+
+    @requires_numpy
+    def test_table_iv_invariant_under_chunking_and_jobs(self):
+        trials, seed = 240, 11
+        baseline = build_table_iv(trials=trials, seed=seed)
+        for jobs, chunk_size in ((1, 64), (2, 64), (2, 100), (2, None)):
+            table = build_table_iv(
+                trials=trials, seed=seed, jobs=jobs, chunk_size=chunk_size
+            )
+            assert [p.result for p in table.points] == [
+                p.result for p in baseline.points
+            ], f"table diverged at jobs={jobs} chunk_size={chunk_size}"
+            assert [p.label for p in table.points] == [
+                p.label for p in baseline.points
+            ]

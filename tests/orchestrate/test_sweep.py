@@ -1,0 +1,87 @@
+"""Concurrent `all` sweep tests (report capture, ordering, results dir)."""
+
+import json
+
+import pytest
+
+from repro.orchestrate.sweep import (
+    EXPERIMENT_TARGETS,
+    ExperimentTask,
+    run_all,
+    run_experiment_task,
+)
+
+#: Two cheap, deterministic experiments for end-to-end sweep runs.
+CHEAP = [
+    ExperimentTask.make("table3", {}),
+    ExperimentTask.make("figure1b", {}),
+]
+
+
+class TestExperimentTask:
+    def test_registry_covers_every_cli_experiment(self):
+        from repro.cli import build_parser
+
+        choices = set(build_parser()._actions[1].choices) - {"all"}
+        assert set(EXPERIMENT_TARGETS) == choices
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            ExperimentTask.make("table99", {})
+
+    def test_kwargs_are_frozen_and_ordered(self):
+        task = ExperimentTask.make("table4", {"trials": 10, "seed": 1})
+        assert task.kwargs == (("seed", 1), ("trials", 10))
+        hash(task)  # picklable-spec contract: hashable
+
+
+class TestRunExperimentTask:
+    def test_captures_report_without_printing(self, capsys):
+        outcome = run_experiment_task(ExperimentTask.make("table3", {}))
+        assert "4065" in outcome.report
+        assert outcome.seconds >= 0
+        assert capsys.readouterr().out == ""  # stdout stayed captured
+
+
+class TestRunAll:
+    def test_parallel_matches_serial_and_preserves_order(self):
+        serial = run_all(list(CHEAP), jobs=1)
+        parallel = run_all(list(CHEAP), jobs=2)
+        assert list(serial) == [t.name for t in CHEAP]
+        assert list(parallel) == list(serial)
+        for name in serial:
+            assert parallel[name].report == serial[name].report
+
+    def test_results_dir_written(self, tmp_path):
+        outcomes = run_all(list(CHEAP), jobs=2, results_dir=tmp_path / "out")
+        directory = tmp_path / "out"
+        for name, outcome in outcomes.items():
+            assert (directory / f"{name}.txt").read_text() == outcome.report + "\n"
+        summary = json.loads((directory / "summary.json").read_text())
+        assert summary["jobs"] == 2
+        assert set(summary["experiments"]) == {t.name for t in CHEAP}
+        for entry in summary["experiments"].values():
+            assert entry["seconds"] >= 0
+            assert (directory / entry["report_file"]).exists()
+        # sum_seconds adds the per-experiment spans; wall_seconds is
+        # elapsed time, which concurrency can push below the sum.
+        assert summary["sum_seconds"] == round(
+            sum(o.seconds for o in outcomes.values()), 4
+        )
+        assert summary["wall_seconds"] > 0
+
+    def test_on_outcome_streams_every_completion(self):
+        streamed = []
+        outcomes = run_all(
+            list(CHEAP), jobs=1, on_outcome=lambda o: streamed.append(o.name)
+        )
+        assert streamed == list(outcomes)  # serial: completion == task order
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate experiment names"):
+            run_all(
+                [
+                    ExperimentTask.make("table3", {}),
+                    ExperimentTask.make("table3", {}),
+                ]
+            )

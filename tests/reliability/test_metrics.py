@@ -30,6 +30,48 @@ class TestTally:
         assert result.miscorrection_rate == 0.075
         assert result.silent_rate == 0.025
 
+    def test_merge_folds_all_buckets(self):
+        left = MsedTally()
+        left.record_counts(detected_no_match=5, miscorrected=2, silent=1)
+        right = MsedTally()
+        right.record_counts(detected_confinement=3, silent=4)
+        returned = left.merge(right)
+        assert returned is left  # chains
+        assert left.freeze() == MsedResult(
+            trials=15,
+            detected_no_match=5,
+            detected_confinement=3,
+            miscorrected=2,
+            silent=5,
+        )
+        assert right.trials == 7  # the folded-in tally is untouched
+
+    def test_merge_is_associative_and_commutative(self):
+        def tally(no_match, confinement, mis, silent):
+            t = MsedTally()
+            t.record_counts(
+                detected_no_match=no_match,
+                detected_confinement=confinement,
+                miscorrected=mis,
+                silent=silent,
+            )
+            return t
+
+        parts = [(1, 2, 3, 4), (5, 0, 1, 0), (0, 7, 0, 2)]
+        forward = MsedTally()
+        for part in parts:
+            forward += tally(*part)
+        backward = MsedTally()
+        for part in reversed(parts):
+            backward.merge(tally(*part))
+        assert forward.freeze() == backward.freeze()
+
+    def test_merge_accepts_frozen_results(self):
+        tally = MsedTally()
+        tally.merge(MsedResult(10, 5, 2, 2, 1))
+        assert tally.trials == 10
+        assert tally.detected_no_match == 5
+
     def test_empty_result_has_zero_rates(self):
         result = MsedTally().freeze()
         assert result.msed_rate == 0.0

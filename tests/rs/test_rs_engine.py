@@ -276,14 +276,14 @@ class TestCorruptionGeneration:
     @requires_numpy
     @pytest.mark.parametrize("k", (1, 2, 3))
     def test_every_word_has_exactly_k_corrupted_symbols(self, k):
-        """Replay the generator's stream prefix to recover clean words."""
-        import numpy as np
+        """Recover the clean words from the shared counter-hashed data
+        stream, then diff against the corrupted batch."""
+        from repro.orchestrate import Chunk, derive_key
+        from repro.orchestrate.corruption import rs_clean_chunk
 
         code = make_code(5)
-        engine = get_rs_engine(code, "numpy")
         seed = 40 + k
-        rng = np.random.default_rng(seed)
-        clean = engine.encode_arrays(engine.random_data_batch(rng, 200))
+        clean = rs_clean_chunk(code, Chunk(0, 200), derive_key(seed))
         corrupted = rs_msed_corruption_batch(code, 200, seed=seed, k_symbols=k)
         assert ((clean != corrupted).sum(axis=1) == k).all()
 
