@@ -1,0 +1,124 @@
+"""Bench: adaptive vs fixed-budget Table IV — trials saved, wall-clock.
+
+The acceptance contract this file pins and records:
+
+* at ``ci_target=0.1`` (relative 95% half-width on the failure rate)
+  with a 20k ceiling, the adaptive table spends **strictly fewer
+  trials than the fixed 10k default on at least half the design
+  points** — easy cells stop early, only the rare-tail cells climb to
+  the ceiling;
+* statistically nothing is lost: every fixed-budget point estimate
+  (MSED and failure rate alike) lies inside the adaptive run's 95%
+  interval;
+* the measured trials-saved and wall-clock go to
+  ``benchmarks/BENCH_adaptive.json`` (a CI artifact) so the adaptive
+  sampler's efficiency is tracked run over run.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import table4
+from repro.reliability.sampling.sequential import AdaptivePolicy
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    HAVE_NUMPY = False
+
+requires_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+
+ARTIFACT = Path(__file__).parent / "BENCH_adaptive.json"
+
+FIXED_TRIALS = 10_000
+SEED = 2022
+POLICY = AdaptivePolicy(ci_target=0.1, metric="failure", max_trials=20_000)
+
+
+@requires_numpy
+def test_adaptive_table_iv_saves_trials_without_losing_accuracy():
+    table4.build(trials=200, seed=SEED)  # warm caches (searches, engines)
+
+    start = time.perf_counter()
+    fixed = table4.build(trials=FIXED_TRIALS, seed=SEED)
+    fixed_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    adaptive = table4.build(seed=SEED, adaptive=POLICY)
+    adaptive_seconds = time.perf_counter() - start
+
+    points = []
+    fewer = 0
+    for fixed_point, adaptive_point in zip(fixed.points, adaptive.points):
+        fixed_result = fixed_point.result
+        adaptive_result = adaptive_point.result
+        assert adaptive_point.sampling is not None
+        # Accuracy: the fixed estimates sit inside the adaptive CIs.
+        msed_ci = adaptive_result.interval(metric="msed")
+        failure_ci = adaptive_result.interval(metric="failure")
+        assert msed_ci.contains(fixed_result.msed_rate), (
+            f"{fixed_point.family}+{fixed_point.extra_bits}: fixed MSED "
+            f"{fixed_result.msed_rate:.4f} outside adaptive {msed_ci}"
+        )
+        assert failure_ci.contains(fixed_result.failure_rate), (
+            f"{fixed_point.family}+{fixed_point.extra_bits}: fixed failure "
+            f"{fixed_result.failure_rate:.4f} outside adaptive {failure_ci}"
+        )
+        fewer += adaptive_result.trials < fixed_result.trials
+        points.append(
+            {
+                "family": fixed_point.family,
+                "extra_bits": fixed_point.extra_bits,
+                "fixed_trials": fixed_result.trials,
+                "adaptive_trials": adaptive_result.trials,
+                "converged": adaptive_point.sampling.converged,
+                "fixed_msed_percent": round(fixed_result.msed_percent, 2),
+                "adaptive_msed_percent": round(adaptive_result.msed_percent, 2),
+                "adaptive_failure_ci_95": [
+                    round(failure_ci.lo, 6),
+                    round(failure_ci.hi, 6),
+                ],
+            }
+        )
+
+    # Efficiency: at least half the points stop strictly below the
+    # fixed budget (the rest are rare-tail cells that climb to the
+    # ceiling — that extra spend is the sampler doing its job).
+    assert fewer >= len(fixed.points) / 2, (
+        f"only {fewer}/{len(fixed.points)} design points beat the fixed "
+        f"{FIXED_TRIALS}-trial budget"
+    )
+
+    fixed_total = sum(p.result.trials for p in fixed.points)
+    adaptive_total = sum(p.result.trials for p in adaptive.points)
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "experiment": "table4-adaptive",
+                "seed": SEED,
+                "fixed_trials_per_point": FIXED_TRIALS,
+                "policy": {
+                    "ci_target": POLICY.ci_target,
+                    "metric": POLICY.metric,
+                    "confidence": POLICY.confidence,
+                    "kind": POLICY.kind,
+                    "initial_trials": POLICY.initial_trials,
+                    "growth": POLICY.growth,
+                    "max_trials": POLICY.max_trials,
+                },
+                "fixed_total_trials": fixed_total,
+                "adaptive_total_trials": adaptive_total,
+                "points_below_fixed_budget": fewer,
+                "fixed_seconds": round(fixed_seconds, 4),
+                "adaptive_seconds": round(adaptive_seconds, 4),
+                "points": points,
+            },
+            indent=2,
+        )
+        + "\n"
+    )

@@ -7,6 +7,7 @@ Examples
     repro-muse table1                      # regenerate Table I searches
     repro-muse table4 --trials 1000000 --jobs 8   # rare-tail Table IV
     repro-muse table4 --chunk-size 65536 --seed 7 # streamed, reseeded
+    repro-muse table4 --adaptive --ci-target 0.1  # stop when CIs tighten
     repro-muse figure6 --quick             # 3-benchmark, short-trace preview
     repro-muse all --jobs 4 --results-dir results  # concurrent sweep
 """
@@ -47,6 +48,11 @@ MONTE_CARLO_DEFAULT_TRIALS = {
     "extension-double-device": extension_double_device.DEFAULT_TRIALS,
 }
 MONTE_CARLO_EXPERIMENTS = tuple(MONTE_CARLO_DEFAULT_TRIALS)
+
+#: The MSED experiments that accept the sequential adaptive-sampling
+#: mode (--adaptive/--ci-target/--max-trials).  extension-double-device
+#: tallies erasure recoveries, not MSED rates, so it stays fixed-budget.
+ADAPTIVE_EXPERIMENTS = ("table4", "ablation-shuffle", "ablation-frontier")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -97,6 +103,29 @@ def build_parser() -> argparse.ArgumentParser:
             "trials per streamed chunk (default 65536); bounds peak "
             "memory — a 10^6-trial run only ever materialises one "
             "chunk per worker"
+        ),
+    )
+    parser.add_argument(
+        "--adaptive", action="store_true",
+        help=(
+            "drive the MSED Monte-Carlo by statistical need instead of "
+            "a fixed budget: each design point stops once its failure-"
+            "rate confidence interval is tight (table4, ablations); "
+            "ignores --trials"
+        ),
+    )
+    parser.add_argument(
+        "--ci-target", type=float, default=None,
+        help=(
+            "adaptive stopping tolerance: relative 95%% CI half-width "
+            "on the target rate (default 0.1, i.e. +-10%% of the rate)"
+        ),
+    )
+    parser.add_argument(
+        "--max-trials", type=int, default=None,
+        help=(
+            "adaptive trial ceiling per design point (default 1000000); "
+            "points whose interval never tightens stop here"
         ),
     )
     parser.add_argument(
@@ -157,6 +186,17 @@ def experiment_kwargs(args: argparse.Namespace) -> dict[str, dict]:
             kw["seed"] = args.seed
         if args.chunk_size is not None:
             kw["chunk_size"] = args.chunk_size
+        if args.adaptive and name in ADAPTIVE_EXPERIMENTS:
+            kw["adaptive"] = True
+            if args.ci_target is not None:
+                kw["ci_target"] = args.ci_target
+            if args.max_trials is not None:
+                kw["max_trials"] = args.max_trials
+            elif args.quick:
+                # A preview must stay a preview: without an explicit
+                # ceiling, cap the adaptive run at the quick budget
+                # instead of the 10^6-trial default.
+                kw["max_trials"] = kw["trials"]
         return kw
 
     trace = {"mem_ops": mem_ops}
@@ -182,6 +222,32 @@ def experiment_kwargs(args: argparse.Namespace) -> dict[str, dict]:
 
 
 def run(args: argparse.Namespace) -> int:
+    if args.adaptive and args.experiment not in ADAPTIVE_EXPERIMENTS + ("all",):
+        print(
+            f"error: --adaptive applies to {', '.join(ADAPTIVE_EXPERIMENTS)} "
+            f"(or 'all'), not {args.experiment}",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.adaptive and (
+        args.ci_target is not None or args.max_trials is not None
+    ):
+        # The same flag-dropping class the extension --trials regression
+        # fixed: refuse rather than silently run fixed-budget.
+        print(
+            "error: --ci-target/--max-trials only apply with --adaptive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.adaptive and args.trials is not None:
+        # Mirror image of the guard above: adaptive mode ignores a fixed
+        # trial budget, so an explicit --trials would silently do nothing.
+        print(
+            "error: --trials does not apply with --adaptive; "
+            "use --max-trials for the per-point ceiling",
+            file=sys.stderr,
+        )
+        return 2
     kwargs = experiment_kwargs(args)
 
     if args.experiment == "all":

@@ -130,6 +130,20 @@ def muse_268_256() -> MuseCode:
     return get_code("MUSE(268,256)")
 
 
+@lru_cache(maxsize=None)
+def toy_16_7() -> MuseCode:
+    """A deliberately weak 16-bit toy: the smallest valid C4B multiplier.
+
+    Not a paper code.  m = 393 is the *first* multiplier the Algorithm-1
+    search accepts over four 4-bit symbols, so it separates single-symbol
+    errors (a real SSC code) while 3-symbol corruptions alias to valid
+    codewords at a rate (~3e-3) large enough to measure by brute force —
+    the calibration target the importance-splitting unbiasedness tests
+    need (a strong code's silent rate is too rare to brute-force).
+    """
+    return MuseCode(SymbolLayout.sequential(16, 4), 393, name="TOY(16,7)")
+
+
 ALL_BUILDERS: dict[str, Callable[[], MuseCode]] = {
     "MUSE(144,132)": muse_144_132,
     "MUSE(80,69)": muse_80_69,

@@ -17,8 +17,10 @@ module              reproduces
 ``extension_double_device``  Section IV's two-consecutive-failure claim
 ==================  ====================================================
 
-Every module exposes ``main(**options) -> str`` returning the rendered
-report; the CLI (``repro-muse``) dispatches to them.
+Every module exposes ``main(**options)`` returning the rendered report
+string — or, for experiments with machine-readable summaries (table4),
+a ``(report, details)`` pair whose dict lands in the sweep's
+``summary.json``; the CLI (``repro-muse``) dispatches to them.
 """
 
 from repro.experiments import (  # noqa: F401

@@ -19,7 +19,11 @@ from repro.core.error_model import ErrorDirection, SymbolErrorModel
 from repro.core.search import find_multipliers
 from repro.core.symbols import SymbolLayout
 from repro.orchestrate.worker import CodeRef
-from repro.reliability.monte_carlo import MuseMsedSimulator, run_design_points
+from repro.reliability.monte_carlo import (
+    MuseMsedSimulator,
+    run_design_points_with_outcomes,
+)
+from repro.reliability.sampling.sequential import AdaptivePolicy, policy_from_cli
 
 
 @dataclass(frozen=True)
@@ -69,6 +73,12 @@ class ShuffleMsedRow:
     layout: str
     m: int
     msed_percent: float
+    #: 95% Wilson bounds on the MSED rate, in percent, and the trials
+    #: actually spent (fixed budget or adaptive).
+    msed_lo: float = 0.0
+    msed_hi: float = 100.0
+    trials: int = 0
+    converged: bool | None = None
 
 
 def msed_sweep(
@@ -77,6 +87,7 @@ def msed_sweep(
     backend: str = "auto",
     jobs: int = 1,
     chunk_size: int | None = None,
+    adaptive: AdaptivePolicy | None = None,
 ) -> list[ShuffleMsedRow]:
     """Monte-Carlo MSED across the 80-bit design points, per layout.
 
@@ -99,22 +110,27 @@ def msed_sweep(
         )
         points.append((code, simulator))
     # One shared pool (or in-process stream) for all three codes.
-    results = run_design_points(
-        [simulator for _, simulator in points],
-        trials,
-        seed,
-        jobs=jobs,
-        chunk_size=chunk_size,
+    simulators = [simulator for _, simulator in points]
+    results, outcomes = run_design_points_with_outcomes(
+        simulators, trials, seed, jobs=jobs, chunk_size=chunk_size,
+        adaptive=adaptive,
     )
-    return [
-        ShuffleMsedRow(
-            code_name=code.name,
-            layout="sequential" if code.layout.is_sequential() else "shuffled",
-            m=code.m,
-            msed_percent=result.msed_percent,
+    rows = []
+    for (code, _), result, outcome in zip(points, results, outcomes):
+        interval = result.interval()
+        rows.append(
+            ShuffleMsedRow(
+                code_name=code.name,
+                layout="sequential" if code.layout.is_sequential() else "shuffled",
+                m=code.m,
+                msed_percent=result.msed_percent,
+                msed_lo=100.0 * interval.lo,
+                msed_hi=100.0 * interval.hi,
+                trials=result.trials,
+                converged=None if outcome is None else outcome.converged,
+            )
         )
-        for (code, _), result in zip(points, results)
-    ]
+    return rows
 
 
 def render(rows: list[ShuffleAblationRow]) -> str:
@@ -137,12 +153,16 @@ def render(rows: list[ShuffleAblationRow]) -> str:
 def render_msed(rows: list[ShuffleMsedRow]) -> str:
     lines = [
         "Shuffle ablation: MSED of the Table-I 80-bit codes, 2-symbol errors",
-        f"{'code':<14} {'layout':<11} {'m':>6} {'MSED %':>8}",
+        f"{'code':<14} {'layout':<11} {'m':>6} {'MSED %':>8} "
+        f"{'[lo, hi] @95%':>18} {'n':>8}",
     ]
     for row in rows:
+        ceiling = " ceiling" if row.converged is False else ""
         lines.append(
             f"{row.code_name:<14} {row.layout:<11} {row.m:>6} "
-            f"{row.msed_percent:>8.2f}"
+            f"{row.msed_percent:>8.2f} "
+            f"{f'[{row.msed_lo:.2f}, {row.msed_hi:.2f}]':>18} "
+            f"{row.trials:>8}{ceiling}"
         )
     lines.append(
         "\nshuffling decides which codes exist (see the search sweep); among "
@@ -162,6 +182,9 @@ def main(
     backend: str = "auto",
     jobs: int = 1,
     chunk_size: int | None = None,
+    adaptive: bool = False,
+    ci_target: float | None = None,
+    max_trials: int | None = None,
 ) -> str:
     rows = msed_sweep(
         DEFAULT_TRIALS if trials is None else trials,
@@ -169,6 +192,7 @@ def main(
         backend=backend,
         jobs=jobs,
         chunk_size=chunk_size,
+        adaptive=policy_from_cli(ci_target, max_trials) if adaptive else None,
     )
     report = "\n\n".join([render(sweep()), render_msed(rows)])
     print(report)

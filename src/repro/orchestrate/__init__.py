@@ -27,6 +27,7 @@ combination, including ``jobs=1`` vs ``jobs>1``.
 from repro.orchestrate.plan import (
     Chunk,
     DEFAULT_CHUNK_SIZE,
+    plan_chunk_range,
     plan_chunks,
     resolve_chunk_size,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "derive_key",
     "map_unordered",
     "mix64",
+    "plan_chunk_range",
     "plan_chunks",
     "resolve_chunk_size",
     "resolve_experiment",

@@ -156,6 +156,88 @@ def muse_corruption_chunk(code, chunk: Chunk, key: int, k_symbols: int = 2):
     return words
 
 
+def muse_split_chunk(code, chunk: Chunk, key: int, k_symbols: int = 2):
+    """Generate chunk trials of the MUSE *prefix* corruption stream.
+
+    The importance-splitting front half of :func:`muse_corruption_chunk`:
+    the same clean words, the same ``k`` chosen symbols, and the same
+    replacement values for the first ``k - 1`` of them — but the last
+    chosen symbol is left intact and its index returned instead, so the
+    splitting estimator can branch over *every* value it could take.
+
+    Returns ``(words, last_symbols)``: the ``(chunk.size, limbs)``
+    uint64 prefix-corrupted batch and the per-trial held-out symbol
+    index (int64).  Because the CHOICE and VALUE streams are shared
+    with the full generator, the prefix distribution here is exactly
+    the full stream's marginal over everything but the final draw.
+    """
+    _require_numpy()
+    from repro.engine.numpy_backend import (
+        extract_symbol_batch,
+        insert_symbol_batch,
+    )
+
+    layout = code.layout
+    if not 2 <= k_symbols <= layout.symbol_count:
+        raise ValueError(
+            f"splitting needs k_symbols in [2, {layout.symbol_count}], "
+            f"got {k_symbols}"
+        )
+    trials = _trial_counters(chunk)
+    words = muse_clean_chunk(code, chunk, key)
+    chosen = _choose_symbols(key, trials, layout.symbol_count, k_symbols)
+
+    def read(rows, index):
+        return extract_symbol_batch(words[rows], layout, index)
+
+    def write(rows, index, values):
+        insert_symbol_batch(words, layout, index, values, rows)
+
+    _replace_chosen_symbols(
+        key,
+        trials,
+        chosen[:, : k_symbols - 1],
+        [len(symbol) for symbol in layout.symbols],
+        read,
+        write,
+    )
+    return words, chosen[:, k_symbols - 1].astype(np.int64)
+
+
+def rs_split_chunk(code, chunk: Chunk, key: int, k_symbols: int = 2):
+    """Generate chunk trials of the RS prefix corruption stream.
+
+    The RS analogue of :func:`muse_split_chunk`: returns
+    ``(words, last_symbols)`` with the first ``k - 1`` chosen symbols
+    corrupted and the final chosen symbol's index held out per trial.
+    """
+    _require_numpy()
+    if not 2 <= k_symbols <= code.n_symbols:
+        raise ValueError(
+            f"splitting needs k_symbols in [2, {code.n_symbols}], "
+            f"got {k_symbols}"
+        )
+    trials = _trial_counters(chunk)
+    words = rs_clean_chunk(code, chunk, key)
+    chosen = _choose_symbols(key, trials, code.n_symbols, k_symbols)
+
+    def read(rows, index):
+        return words[rows, index].astype(np.uint64)
+
+    def write(rows, index, values):
+        words[rows, index] = values.astype(np.uint32)
+
+    _replace_chosen_symbols(
+        key,
+        trials,
+        chosen[:, : k_symbols - 1],
+        code.symbol_widths,
+        read,
+        write,
+    )
+    return words, chosen[:, k_symbols - 1].astype(np.int64)
+
+
 def rs_clean_chunk(code, chunk: Chunk, key: int):
     """Encode chunk trials of the RS data stream (no corruption).
 

@@ -47,10 +47,29 @@ def plan_chunks(trials: int, chunk_size: int | None = None) -> tuple[Chunk, ...]
     """
     if trials < 0:
         raise ValueError(f"trials must be >= 0, got {trials}")
-    if trials == 0:
+    return plan_chunk_range(0, trials, chunk_size)
+
+
+def plan_chunk_range(
+    start: int, stop: int, chunk_size: int | None = None
+) -> tuple[Chunk, ...]:
+    """Chunks covering trials ``[start, stop)`` of a logical run.
+
+    The adaptive sampler extends a run round by round: trials
+    ``[0, n_0)``, then ``[n_0, n_1)``, ...  Because draws are counter
+    hashes of the global trial index, the chunks of a later round are
+    planned exactly like a fresh run's — only the range moves — and the
+    fold of all rounds equals a single fixed-trial run of ``n_k``
+    trials (the prefix property the adaptive tests pin).
+    """
+    if start < 0 or stop < start:
+        raise ValueError(
+            f"need 0 <= start <= stop, got start={start} stop={stop}"
+        )
+    if stop == start:
         return ()
-    size = resolve_chunk_size(trials, chunk_size)
+    size = resolve_chunk_size(stop - start, chunk_size)
     return tuple(
-        Chunk(start, min(size, trials - start))
-        for start in range(0, trials, size)
+        Chunk(begin, min(size, stop - begin))
+        for begin in range(start, stop, size)
     )

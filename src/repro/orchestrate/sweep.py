@@ -61,11 +61,17 @@ class ExperimentTask:
 
 @dataclass(frozen=True)
 class SweepOutcome:
-    """One experiment's rendered report and wall-clock seconds."""
+    """One experiment's rendered report and wall-clock seconds.
+
+    ``details`` is the experiment's optional machine-readable summary
+    (e.g. table4's per-design-point ``trials_used`` and confidence
+    intervals); it is folded into the sweep's ``summary.json``.
+    """
 
     name: str
     report: str
     seconds: float
+    details: dict | None = None
 
 
 def resolve_experiment(name: str):
@@ -80,16 +86,28 @@ def resolve_experiment(name: str):
 
 
 def run_experiment_task(task: ExperimentTask) -> SweepOutcome:
-    """Worker entry point: run one experiment, capture its report."""
+    """Worker entry point: run one experiment, capture its report.
+
+    An experiment's ``main`` may return the report string, a
+    ``(report, details)`` pair (details: a JSON-ready dict for
+    ``summary.json``), or nothing (its printed output is the report).
+    """
     main = resolve_experiment(task.name)
     buffer = io.StringIO()
     start = time.perf_counter()
     with contextlib.redirect_stdout(buffer):
-        report = main(**dict(task.kwargs))
+        returned = main(**dict(task.kwargs))
     seconds = time.perf_counter() - start
+    details = None
+    if isinstance(returned, tuple) and len(returned) == 2:
+        report, details = returned
+    else:
+        report = returned
     if not isinstance(report, str):
         report = buffer.getvalue().rstrip("\n")
-    return SweepOutcome(name=task.name, report=report, seconds=seconds)
+    return SweepOutcome(
+        name=task.name, report=report, seconds=seconds, details=details
+    )
 
 
 def _write_report(directory: Path, outcome: SweepOutcome) -> None:
@@ -113,10 +131,13 @@ def _write_summary(
     """
     summary = {"jobs": jobs, "experiments": {}}
     for name, outcome in outcomes.items():
-        summary["experiments"][name] = {
+        entry = {
             "seconds": round(outcome.seconds, 4),
             "report_file": f"{name}.txt",
         }
+        if outcome.details is not None:
+            entry["details"] = outcome.details
+        summary["experiments"][name] = entry
     summary["sum_seconds"] = round(
         sum(outcome.seconds for outcome in outcomes.values()), 4
     )

@@ -48,6 +48,48 @@ class CodeRef:
         return factory(*self.args)
 
 
+def as_code_ref(code_ref: "CodeRef | str | None") -> CodeRef:
+    """Normalise a user-supplied ref (``CodeRef`` or string) or fail."""
+    if code_ref is None:
+        raise ValueError(
+            "multi-process runs rebuild the code in each worker and need "
+            "a picklable code_ref, e.g. "
+            "CodeRef('repro.core.codes:muse_80_69') or the 'module:callable' "
+            "string directly"
+        )
+    if isinstance(code_ref, CodeRef):
+        return code_ref
+    return CodeRef(code_ref)
+
+
+def checked_code_ref(code_ref, code, signature) -> CodeRef:
+    """Resolve ``code_ref`` and prove it rebuilds *this* code.
+
+    Workers tally whatever the ref's factory returns, so a ref naming a
+    different code would silently break the jobs-invariance contract;
+    one parent-side rebuild per run catches the mismatch up front.
+    """
+    ref = as_code_ref(code_ref)
+    rebuilt = ref.build()
+    if signature(rebuilt) != signature(code):
+        raise ValueError(
+            f"code_ref {ref.target!r} (args={ref.args!r}) rebuilds "
+            f"{rebuilt!r}, which does not match this simulator's code "
+            f"{code!r}; workers would tally a different code"
+        )
+    return ref
+
+
+def muse_signature(code) -> tuple:
+    """What must match for two MUSE codes to tally identically."""
+    return (code.n, code.m, code.layout.symbols)
+
+
+def rs_signature(code) -> tuple:
+    """What must match for two RS codes to tally identically."""
+    return (code.symbol_bits, code.data_symbols, code.partial_bits)
+
+
 @dataclass(frozen=True)
 class MuseSimSpec:
     """Rebuild a :class:`MuseMsedSimulator` inside a worker."""

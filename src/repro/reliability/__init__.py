@@ -2,8 +2,13 @@
 
 * :class:`MuseMsedSimulator` / :class:`RsMsedSimulator` — k-symbol
   error injection and outcome classification for each code family.
-* :func:`build_table_iv` — the full MUSE-vs-RS design-point sweep.
-* :class:`MsedResult` — detected / miscorrected / silent accounting.
+* :func:`build_table_iv` — the full MUSE-vs-RS design-point sweep,
+  fixed-budget or adaptive.
+* :class:`MsedResult` — detected / miscorrected / silent accounting,
+  every rate with a Wilson / Clopper-Pearson interval.
+* :mod:`~repro.reliability.sampling` — adaptive sequential stopping
+  (:class:`AdaptivePolicy` / :class:`AdaptiveRunner`) and importance
+  splitting for the silent / miscorrection tails.
 """
 
 from repro.reliability.analytic import (
@@ -24,20 +29,48 @@ from repro.reliability.monte_carlo import (
     largest_144_multiplier,
     muse_design_point,
     rs_design_point,
+    run_design_points,
+    run_design_points_adaptive,
+    run_design_points_with_outcomes,
+)
+from repro.reliability.sampling import (
+    AdaptiveOutcome,
+    AdaptivePolicy,
+    AdaptiveRunner,
+    Interval,
+    MuseSplittingEstimator,
+    RsSplittingEstimator,
+    SplitResult,
+    binomial_interval,
+    clopper_pearson_interval,
+    wilson_interval,
 )
 
 __all__ = [
+    "AdaptiveOutcome",
+    "AdaptivePolicy",
+    "AdaptiveRunner",
     "AnalyticMsed",
     "DesignPoint",
+    "Interval",
     "MsedResult",
     "MsedTally",
     "MuseMsedSimulator",
+    "MuseSplittingEstimator",
     "RsMsedSimulator",
+    "RsSplittingEstimator",
+    "SplitResult",
     "TableIV",
+    "binomial_interval",
     "build_table_iv",
+    "clopper_pearson_interval",
     "largest_144_multiplier",
     "muse_design_point",
     "predict",
     "predict_table_iv_muse_row",
     "rs_design_point",
+    "run_design_points",
+    "run_design_points_adaptive",
+    "run_design_points_with_outcomes",
+    "wilson_interval",
 ]

@@ -16,6 +16,11 @@ Each injected multi-symbol error lands in exactly one bucket:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.reliability.sampling.intervals import Interval
+    from repro.reliability.sampling.sequential import AdaptiveOutcome
 
 
 @dataclass
@@ -102,36 +107,92 @@ class MsedResult:
     def detected(self) -> int:
         return self.detected_no_match + self.detected_confinement
 
+    # The named-rate properties all delegate to rate()/:data:`METRICS`
+    # so each rate is defined exactly once — the stopping rule
+    # (which looks rates up by name) and the reports (which use the
+    # properties) can never disagree about what a rate counts.
+
     @property
     def msed_rate(self) -> float:
         """Fraction of sampled multi-symbol errors that were detected."""
-        if self.trials == 0:
-            return 0.0
-        return self.detected / self.trials
+        return self.rate("msed")
 
     @property
     def miscorrection_rate(self) -> float:
-        if self.trials == 0:
-            return 0.0
-        return self.miscorrected / self.trials
+        return self.rate("miscorrection")
 
     @property
     def silent_rate(self) -> float:
-        if self.trials == 0:
-            return 0.0
-        return self.silent / self.trials
+        return self.rate("silent")
+
+    @property
+    def failure_rate(self) -> float:
+        """Fraction the decoder failed to flag: miscorrected + silent.
+
+        The complement of :attr:`msed_rate` — the rare-event tail the
+        adaptive sampler drives its stopping rule on.
+        """
+        return self.rate("failure")
 
     @property
     def msed_percent(self) -> float:
         return 100.0 * self.msed_rate
 
-    def describe(self) -> str:
+    def count(self, metric: str = "msed") -> int:
+        """Event count behind one named rate (see :data:`METRICS`)."""
+        try:
+            return METRICS[metric](self)
+        except KeyError:
+            raise ValueError(
+                f"unknown metric {metric!r}; choose from {sorted(METRICS)}"
+            ) from None
+
+    def rate(self, metric: str = "msed") -> float:
+        """One named rate as a bare float (prefer :meth:`interval` for
+        anything user-facing — a rate without an error bar hides how
+        little a rare-event run actually learned)."""
+        if self.trials == 0:
+            return 0.0
+        return self.count(metric) / self.trials
+
+    def interval(
+        self,
+        kind: str = "wilson",
+        confidence: float = 0.95,
+        metric: str = "msed",
+    ) -> "Interval":
+        """Confidence interval on one named rate over this run's trials.
+
+        ``kind`` is ``"wilson"`` or ``"clopper-pearson"``
+        (:mod:`repro.reliability.sampling.intervals`).
+        """
+        # Runtime import: sampling.sequential folds MsedTally objects,
+        # so a module-level import here would be circular.
+        from repro.reliability.sampling.intervals import binomial_interval
+
+        return binomial_interval(
+            self.count(metric), self.trials, kind=kind, confidence=confidence
+        )
+
+    def describe(self, confidence: float = 0.95) -> str:
+        interval = self.interval(confidence=confidence)
         return (
-            f"MSED {self.msed_percent:.2f}% over {self.trials} trials "
+            f"MSED {self.msed_percent:.2f}% "
+            f"{interval.format(scale=100.0)}% @{confidence:.0%} "
+            f"over {self.trials} trials "
             f"(miscorrected {self.miscorrected}, silent {self.silent}, "
             f"no-match {self.detected_no_match}, "
             f"confinement {self.detected_confinement})"
         )
+
+
+#: The named rates a Monte-Carlo run reports: metric -> event count.
+METRICS = {
+    "msed": lambda r: r.detected,
+    "failure": lambda r: r.miscorrected + r.silent,
+    "miscorrection": lambda r: r.miscorrected,
+    "silent": lambda r: r.silent,
+}
 
 
 @dataclass(frozen=True)
@@ -144,6 +205,9 @@ class DesignPoint:
     chipkill: bool
     result: MsedResult | None
     note: str = ""
+    #: Set when the point was run adaptively: convergence flag, rounds,
+    #: and the policy the stopping decision used.
+    sampling: "AdaptiveOutcome | None" = None
 
 
 @dataclass

@@ -44,55 +44,29 @@ from repro.orchestrate.corruption import (
 from repro.orchestrate.plan import Chunk, plan_chunks
 from repro.orchestrate.pool import ProgressCallback, run_sharded
 from repro.orchestrate.rng import derive_key, trial_seed
-from repro.orchestrate.worker import ChunkTask, CodeRef, MuseSimSpec, RsSimSpec
+from repro.orchestrate.worker import (
+    ChunkTask,
+    CodeRef,
+    MuseSimSpec,
+    RsSimSpec,
+    checked_code_ref,
+    muse_signature,
+    rs_signature,
+)
 from repro.reliability.metrics import (
     DesignPoint,
     MsedResult,
     MsedTally,
     TableIV,
 )
+from repro.reliability.sampling.sequential import (
+    AdaptiveOutcome,
+    AdaptivePolicy,
+    AdaptiveRunner,
+)
 from repro.rs.chipkill import assess
 from repro.rs.engine import device_confined, get_rs_engine
 from repro.rs.reed_solomon import RSCode, RSDecodeStatus, rs_for_channel
-
-
-def _as_code_ref(code_ref: "CodeRef | str | None") -> CodeRef:
-    if code_ref is None:
-        raise ValueError(
-            "multi-process runs rebuild the code in each worker and need "
-            "a picklable code_ref, e.g. "
-            "CodeRef('repro.core.codes:muse_80_69') or the 'module:callable' "
-            "string directly"
-        )
-    if isinstance(code_ref, CodeRef):
-        return code_ref
-    return CodeRef(code_ref)
-
-
-def _muse_signature(code: MuseCode) -> tuple:
-    return (code.n, code.m, code.layout.symbols)
-
-
-def _rs_signature(code: RSCode) -> tuple:
-    return (code.symbol_bits, code.data_symbols, code.partial_bits)
-
-
-def _checked_code_ref(code_ref, code, signature) -> CodeRef:
-    """Resolve ``code_ref`` and prove it rebuilds *this* code.
-
-    Workers tally whatever the ref's factory returns, so a ref naming a
-    different code would silently break the jobs-invariance contract;
-    one parent-side rebuild per run catches the mismatch up front.
-    """
-    ref = _as_code_ref(code_ref)
-    rebuilt = ref.build()
-    if signature(rebuilt) != signature(code):
-        raise ValueError(
-            f"code_ref {ref.target!r} (args={ref.args!r}) rebuilds "
-            f"{rebuilt!r}, which does not match this simulator's code "
-            f"{code!r}; workers would tally a different code"
-        )
-    return ref
 
 
 def _streamed_run(
@@ -109,6 +83,19 @@ def _streamed_run(
     return run_design_points(
         [simulator], trials, seed, jobs, chunk_size, progress
     )[0]
+
+
+def _adaptive_run(
+    simulator,
+    policy: AdaptivePolicy | None,
+    seed: int,
+    jobs: int,
+    chunk_size: int | None,
+    progress: ProgressCallback | None,
+) -> AdaptiveOutcome:
+    """Shared ``run_adaptive`` body of both simulator classes."""
+    runner = AdaptiveRunner(policy if policy is not None else AdaptivePolicy())
+    return runner.run_one(simulator, seed, jobs, chunk_size, progress)
 
 
 @dataclass
@@ -151,6 +138,23 @@ class MuseMsedSimulator:
     ) -> MsedResult:
         return _streamed_run(self, trials, seed, jobs, chunk_size, progress)
 
+    def run_adaptive(
+        self,
+        policy: AdaptivePolicy | None = None,
+        seed: int = 2022,
+        *,
+        jobs: int = 1,
+        chunk_size: int | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> AdaptiveOutcome:
+        """Grow this simulator's trial stream until ``policy`` is met.
+
+        The returned outcome's tally is the byte-identical prefix of
+        the fixed-trial stream at the same seed (see
+        :mod:`repro.reliability.sampling.sequential`).
+        """
+        return _adaptive_run(self, policy, seed, jobs, chunk_size, progress)
+
     def run_chunk(self, chunk: Chunk, key: int) -> MsedTally:
         """Classify one chunk of the stream keyed by ``key``.
 
@@ -182,7 +186,7 @@ class MuseMsedSimulator:
 
     def _task_spec(self) -> MuseSimSpec:
         return MuseSimSpec(
-            code=_checked_code_ref(self.code_ref, self.code, _muse_signature),
+            code=checked_code_ref(self.code_ref, self.code, muse_signature),
             k_symbols=self.k_symbols,
             ripple_check=self.ripple_check,
             backend=self.backend,
@@ -264,6 +268,18 @@ class RsMsedSimulator:
     ) -> MsedResult:
         return _streamed_run(self, trials, seed, jobs, chunk_size, progress)
 
+    def run_adaptive(
+        self,
+        policy: AdaptivePolicy | None = None,
+        seed: int = 2022,
+        *,
+        jobs: int = 1,
+        chunk_size: int | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> AdaptiveOutcome:
+        """Grow this simulator's trial stream until ``policy`` is met."""
+        return _adaptive_run(self, policy, seed, jobs, chunk_size, progress)
+
     def run_chunk(self, chunk: Chunk, key: int) -> MsedTally:
         """Classify one chunk of the stream keyed by ``key``."""
         try:
@@ -292,7 +308,7 @@ class RsMsedSimulator:
 
     def _task_spec(self) -> RsSimSpec:
         return RsSimSpec(
-            code=_checked_code_ref(self.code_ref, self.code, _rs_signature),
+            code=checked_code_ref(self.code_ref, self.code, rs_signature),
             k_symbols=self.k_symbols,
             device_bits=self.device_bits,
             backend=self.backend,
@@ -454,6 +470,54 @@ def run_design_points(
     return results
 
 
+def run_design_points_adaptive(
+    simulators: "list[MuseMsedSimulator | RsMsedSimulator]",
+    policy: AdaptivePolicy,
+    seed: int,
+    jobs: int = 1,
+    chunk_size: int | None = None,
+    progress: ProgressCallback | None = None,
+) -> list[AdaptiveOutcome]:
+    """Adaptive sibling of :func:`run_design_points`.
+
+    Every simulator consumes the same counter-hashed stream, but each
+    stops independently at the first policy-scheduled look where its
+    target rate's interval is tight enough — so cheap design points
+    spend hundreds of trials while hard ones run to the ceiling.
+    Results are positionally aligned with ``simulators`` and, like the
+    fixed-budget runner, independent of ``jobs``/``chunk_size``/backend
+    at a fixed seed (including each point's ``trials_used``).
+    """
+    return AdaptiveRunner(policy).run(simulators, seed, jobs, chunk_size, progress)
+
+
+def run_design_points_with_outcomes(
+    simulators: "list[MuseMsedSimulator | RsMsedSimulator]",
+    trials: int,
+    seed: int,
+    jobs: int = 1,
+    chunk_size: int | None = None,
+    progress: ProgressCallback | None = None,
+    adaptive: AdaptivePolicy | None = None,
+) -> "tuple[list[MsedResult], list[AdaptiveOutcome | None]]":
+    """The one fixed-vs-adaptive dispatch every experiment shares.
+
+    Returns ``(results, outcomes)`` positionally aligned with
+    ``simulators``; ``outcomes`` is all ``None`` for fixed-budget runs
+    (``adaptive is None``), so callers render trial counts and
+    convergence flags from one shape.
+    """
+    if adaptive is not None:
+        outcomes = run_design_points_adaptive(
+            simulators, adaptive, seed, jobs, chunk_size, progress
+        )
+        return [outcome.result for outcome in outcomes], list(outcomes)
+    results = run_design_points(
+        simulators, trials, seed, jobs, chunk_size, progress
+    )
+    return results, [None] * len(results)
+
+
 def build_table_iv(
     trials: int = 10_000,
     seed: int = 2022,
@@ -463,6 +527,7 @@ def build_table_iv(
     jobs: int = 1,
     chunk_size: int | None = None,
     progress: ProgressCallback | None = None,
+    adaptive: AdaptivePolicy | None = None,
 ) -> TableIV:
     """Run every design point and assemble the paper's Table IV.
 
@@ -471,6 +536,11 @@ def build_table_iv(
     process pool and ``chunk_size`` bounds per-chunk memory.  None of
     the three changes the tallies of a fixed ``(trials, seed)`` table —
     one flag set accelerates the whole table without altering it.
+
+    With ``adaptive`` set, ``trials`` is ignored: each design point
+    runs until its policy interval converges or ``policy.max_trials``
+    is hit, and every :class:`DesignPoint` carries its
+    :class:`AdaptiveOutcome` in ``.sampling``.
     """
     entries: list[tuple[str, int, object]] = []
     simulators: list[MuseMsedSimulator | RsMsedSimulator] = []
@@ -498,12 +568,14 @@ def build_table_iv(
         )
         entries.append(("RS", extra_bits, code))
 
-    results = run_design_points(
-        simulators, trials, seed, jobs, chunk_size, progress
+    results, outcomes = run_design_points_with_outcomes(
+        simulators, trials, seed, jobs, chunk_size, progress, adaptive
     )
 
     table = TableIV()
-    for (family, extra_bits, code), result in zip(entries, results):
+    for (family, extra_bits, code), result, outcome in zip(
+        entries, results, outcomes
+    ):
         if family == "MUSE":
             table.add(
                 DesignPoint(
@@ -512,6 +584,7 @@ def build_table_iv(
                     label=f"{code.name} m={code.m}",
                     chipkill=True,
                     result=result,
+                    sampling=outcome,
                 )
             )
         else:
@@ -524,6 +597,7 @@ def build_table_iv(
                     chipkill=verdict.chipkill,
                     result=result,
                     note="" if verdict.chipkill else verdict.explain(),
+                    sampling=outcome,
                 )
             )
     return table

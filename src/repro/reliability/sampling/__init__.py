@@ -1,0 +1,64 @@
+"""Adaptive rare-event sampling for the reliability Monte-Carlo.
+
+Three layers over the PR-3 streaming orchestrator:
+
+* :mod:`~repro.reliability.sampling.intervals` — Wilson-score and
+  Clopper-Pearson binomial confidence intervals (stdlib-only), the
+  error bars every reported rate now carries;
+* :mod:`~repro.reliability.sampling.sequential` —
+  :class:`AdaptiveRunner`: grow each design point's counter-hashed
+  trial stream through a geometric round schedule and stop at the
+  first round whose target-rate CI is tight enough
+  (:class:`AdaptivePolicy`) or at the trial ceiling.  The tally after
+  stopping is byte-identical to a fixed-trial run of the same length —
+  the prefix property — for every ``(chunk_size, jobs)`` split and
+  backend;
+* :mod:`~repro.reliability.sampling.splitting` — importance splitting
+  for the silent / miscorrection tails: sample corruption *prefixes*
+  from the plain stream, branch the final corrupted symbol over all
+  its values, and fold exact per-stratum integer counts into an
+  unbiased, lower-variance rate estimate with real error bars even
+  where the plain stream sees zero events.
+"""
+
+from repro.reliability.sampling.intervals import (
+    INTERVAL_KINDS,
+    Interval,
+    binomial_interval,
+    clopper_pearson_interval,
+    wilson_interval,
+)
+from repro.reliability.sampling.sequential import (
+    AdaptiveOutcome,
+    AdaptivePolicy,
+    AdaptiveRunner,
+    policy_from_cli,
+)
+from repro.reliability.sampling.splitting import (
+    DEFAULT_SPLIT_CHUNK_SIZE,
+    MuseSplitSpec,
+    MuseSplittingEstimator,
+    RsSplitSpec,
+    RsSplittingEstimator,
+    SplitResult,
+    SplitTally,
+)
+
+__all__ = [
+    "AdaptiveOutcome",
+    "AdaptivePolicy",
+    "AdaptiveRunner",
+    "DEFAULT_SPLIT_CHUNK_SIZE",
+    "INTERVAL_KINDS",
+    "Interval",
+    "MuseSplitSpec",
+    "MuseSplittingEstimator",
+    "RsSplitSpec",
+    "RsSplittingEstimator",
+    "SplitResult",
+    "SplitTally",
+    "binomial_interval",
+    "clopper_pearson_interval",
+    "policy_from_cli",
+    "wilson_interval",
+]

@@ -1,0 +1,274 @@
+"""Sequential adaptive sampling: run each design point until its CI is
+tight, not until a fixed trial budget is spent.
+
+A fixed-trial Monte-Carlo spends the same 10^4 (or 10^6) trials on a
+design point whose failure rate is 46% as on one whose rate is 0.6% —
+wildly over-sampling the first and under-sampling the second.  The
+:class:`AdaptiveRunner` instead grows every point's run through a
+deterministic, geometric *round schedule* (``initial_trials``, then
+``growth`` times that, ... capped at ``max_trials``) and stops a point
+at the first round where the confidence interval of its target rate is
+narrow enough (:meth:`AdaptivePolicy.satisfied`).
+
+Determinism is inherited wholesale from the PR-3 streaming contract:
+
+* each round extends the *same* counter-hashed trial stream — round
+  ``k`` covers global trials ``[n_{k-1}, n_k)`` via
+  :func:`~repro.orchestrate.plan.plan_chunk_range` — so after any round
+  the folded tally is **byte-identical** to a fixed ``n_k``-trial run
+  at the same seed (the prefix property);
+* round boundaries are a pure function of the policy, never of
+  ``chunk_size``/``jobs``/backend, so the *stopping decision* — and
+  therefore ``trials_used`` — is identical across every execution
+  shape too.
+
+The statistical caveat baked into the design: evaluating a confidence
+interval repeatedly and stopping at the first success is *optional
+stopping*, which inflates the error rate of naive fixed-n intervals.
+Checking on a geometric schedule (a handful of looks, not one per
+trial) keeps the inflation small — the standard practical compromise —
+and the Clopper-Pearson option stays conservative per look.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Sequence
+
+from repro.orchestrate.plan import plan_chunk_range
+from repro.orchestrate.pool import ProgressCallback, run_sharded
+from repro.orchestrate.rng import derive_key
+from repro.orchestrate.worker import ChunkTask
+from repro.reliability.metrics import METRICS, MsedResult, MsedTally
+from repro.reliability.sampling.intervals import INTERVAL_KINDS, Interval
+
+__all__ = [
+    "AdaptiveOutcome",
+    "AdaptivePolicy",
+    "AdaptiveRunner",
+    "policy_from_cli",
+]
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy:
+    """When to stop sampling one design point.
+
+    A point stops at the first scheduled look where either bound holds
+    for the ``metric`` rate's two-sided ``confidence`` interval:
+
+    * half-width <= ``ci_abs`` (absolute tolerance, skipped when 0), or
+    * half-width <= ``ci_target`` x the point estimate (relative
+      tolerance, skipped when 0 — and unsatisfiable while the estimate
+      is 0, which is exactly right: "0 events" has not resolved the
+      rate to any relative precision);
+
+    or unconditionally once ``max_trials`` have been spent (the
+    ceiling; :attr:`AdaptiveOutcome.converged` records which exit won).
+    """
+
+    ci_target: float = 0.1
+    ci_abs: float = 0.0
+    confidence: float = 0.95
+    kind: str = "wilson"
+    metric: str = "failure"
+    initial_trials: int = 1_000
+    growth: float = 2.0
+    max_trials: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.ci_target < 0 or self.ci_abs < 0:
+            raise ValueError("ci_target and ci_abs must be >= 0")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError(f"confidence must be in (0, 1), got {self.confidence}")
+        if self.kind not in INTERVAL_KINDS:
+            raise ValueError(
+                f"unknown interval kind {self.kind!r}; choose from "
+                f"{sorted(INTERVAL_KINDS)}"
+            )
+        if self.metric not in METRICS:
+            raise ValueError(
+                f"unknown metric {self.metric!r}; choose from {sorted(METRICS)}"
+            )
+        if self.initial_trials < 1:
+            raise ValueError("initial_trials must be >= 1")
+        if self.growth <= 1.0:
+            raise ValueError("growth must be > 1")
+        if self.max_trials < 1:
+            raise ValueError("max_trials must be >= 1")
+
+    def schedule(self) -> Iterator[int]:
+        """Cumulative trial targets per round, ending at ``max_trials``.
+
+        A pure function of the policy — the looks land at the same
+        global trial indices whatever the chunking or job count, which
+        is what makes the stopping decision execution-shape-invariant.
+        """
+        target = min(self.initial_trials, self.max_trials)
+        while True:
+            yield target
+            if target >= self.max_trials:
+                return
+            target = min(self.max_trials, int(target * self.growth) + 1)
+
+    def interval_of(self, result: MsedResult) -> Interval:
+        return result.interval(
+            kind=self.kind, confidence=self.confidence, metric=self.metric
+        )
+
+    def satisfied(self, result: MsedResult) -> bool:
+        """Is ``result``'s target-rate interval tight enough to stop?"""
+        if result.trials == 0:
+            return False
+        half = self.interval_of(result).half_width
+        if self.ci_abs > 0 and half <= self.ci_abs:
+            return True
+        if self.ci_target > 0:
+            rate = result.rate(self.metric)
+            return rate > 0 and half <= self.ci_target * rate
+        return False
+
+
+@dataclass(frozen=True)
+class AdaptiveOutcome:
+    """One design point's adaptive run: final tally plus how it ended."""
+
+    result: MsedResult
+    converged: bool
+    rounds: int
+    policy: AdaptivePolicy
+
+    @property
+    def trials_used(self) -> int:
+        return self.result.trials
+
+    def interval(self) -> Interval:
+        """The stopping rule's own interval (policy metric/kind/level)."""
+        return self.policy.interval_of(self.result)
+
+    def describe(self) -> str:
+        exit_ = "converged" if self.converged else "hit trial ceiling"
+        return (
+            f"{self.policy.metric} rate {self.result.rate(self.policy.metric):.6g} "
+            f"{self.interval().format()} @{self.policy.confidence:.0%}, "
+            f"{self.trials_used} trials over {self.rounds} rounds ({exit_})"
+        )
+
+
+@dataclass
+class AdaptiveRunner:
+    """Drive a set of MSED simulators by statistical need.
+
+    Each round extends only the still-unconverged points' trial streams
+    — with ``jobs > 1`` the round's (point x chunk) grid fans over one
+    process pool, exactly like the fixed-budget
+    :func:`~repro.reliability.monte_carlo.run_design_points` — then
+    folds the new chunk tallies (:meth:`MsedTally.merge`) and re-checks
+    the policy at the round boundary.
+    """
+
+    policy: AdaptivePolicy = field(default_factory=AdaptivePolicy)
+
+    def run(
+        self,
+        simulators: Sequence,
+        seed: int,
+        jobs: int = 1,
+        chunk_size: int | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> list[AdaptiveOutcome]:
+        policy = self.policy
+        key = derive_key(seed)
+        count = len(simulators)
+        tallies = [MsedTally() for _ in range(count)]
+        rounds = [0] * count
+        converged = [False] * count
+        active = list(range(count))
+        # One spec per simulator, hoisted out of the round loop (each
+        # _task_spec() rebuilds its code for the consistency check).
+        specs = (
+            [simulator._task_spec() for simulator in simulators]
+            if jobs > 1
+            else None
+        )
+        done_chunks = 0
+        previous = 0
+        for target in policy.schedule():
+            chunks = plan_chunk_range(previous, target, chunk_size)
+            previous = target
+            if jobs > 1:
+                scheduled = done_chunks + len(active) * len(chunks)
+
+                def tick(done: int, total: int, base: int = done_chunks) -> None:
+                    if progress is not None:
+                        progress(base + done, scheduled)
+
+                tasks = [
+                    ChunkTask(index, specs[index], chunk, key)
+                    for index in active
+                    for chunk in chunks
+                ]
+                folded = run_sharded(tasks, jobs, tick)
+                for index in active:
+                    tallies[index].merge(folded.get(index, MsedTally()))
+                done_chunks = scheduled
+            else:
+                scheduled = done_chunks + len(active) * len(chunks)
+                for index in active:
+                    for chunk in chunks:
+                        tallies[index].merge(
+                            simulators[index].run_chunk(chunk, key)
+                        )
+                        done_chunks += 1
+                        if progress is not None:
+                            progress(done_chunks, scheduled)
+            still_active = []
+            for index in active:
+                rounds[index] += 1
+                if policy.satisfied(tallies[index].freeze()):
+                    converged[index] = True
+                else:
+                    still_active.append(index)
+            active = still_active
+            if not active:
+                break
+        return [
+            AdaptiveOutcome(
+                result=tallies[index].freeze(),
+                converged=converged[index],
+                rounds=rounds[index],
+                policy=policy,
+            )
+            for index in range(count)
+        ]
+
+    def run_one(
+        self,
+        simulator,
+        seed: int,
+        jobs: int = 1,
+        chunk_size: int | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> AdaptiveOutcome:
+        """Single-simulator convenience wrapper over :meth:`run`."""
+        return self.run([simulator], seed, jobs, chunk_size, progress)[0]
+
+
+def policy_from_cli(
+    ci_target: float | None,
+    max_trials: int | None,
+    metric: str | None = None,
+    initial_trials: int | None = None,
+) -> AdaptivePolicy:
+    """An :class:`AdaptivePolicy` from the CLI's optional overrides."""
+    policy = AdaptivePolicy()
+    overrides = {}
+    if ci_target is not None:
+        overrides["ci_target"] = ci_target
+    if max_trials is not None:
+        overrides["max_trials"] = max_trials
+    if metric is not None:
+        overrides["metric"] = metric
+    if initial_trials is not None:
+        overrides["initial_trials"] = initial_trials
+    return replace(policy, **overrides) if overrides else policy

@@ -159,6 +159,77 @@ class TestCliDispatch:
         assert captured["chunk_size"] == 128
         assert captured["trials"] == 50
 
+    @pytest.mark.parametrize(
+        "experiment", ["table4", "ablation-shuffle", "ablation-frontier"]
+    )
+    def test_adaptive_flags_threaded(self, monkeypatch, experiment):
+        from repro import cli
+
+        module = {
+            "table4": cli.table4,
+            "ablation-shuffle": cli.ablation_shuffle,
+            "ablation-frontier": cli.ablation_frontier,
+        }[experiment]
+        captured = self._capture(
+            monkeypatch,
+            module,
+            [experiment, "--adaptive", "--ci-target", "0.2",
+             "--max-trials", "5000"],
+        )
+        assert captured["adaptive"] is True
+        assert captured["ci_target"] == 0.2
+        assert captured["max_trials"] == 5000
+
+    def test_adaptive_not_forced_without_flag(self, monkeypatch):
+        from repro import cli
+
+        captured = self._capture(monkeypatch, cli.table4, ["table4"])
+        assert "adaptive" not in captured
+
+    def test_adaptive_rejected_for_non_msed_experiments(self, capsys):
+        args = build_parser().parse_args(
+            ["extension-double-device", "--adaptive"]
+        )
+        assert run(args) == 2
+        assert "--adaptive" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "argv",
+        [["table4", "--ci-target", "0.2"], ["table4", "--max-trials", "500"]],
+    )
+    def test_adaptive_tuning_flags_require_adaptive(self, capsys, argv):
+        """Regression (same class as the extension --trials bug): the
+        tuning flags must refuse, not silently run fixed-budget."""
+        assert run(build_parser().parse_args(argv)) == 2
+        assert "--adaptive" in capsys.readouterr().err
+
+    def test_trials_rejected_with_adaptive(self, capsys):
+        """Mirror guard: --adaptive ignores a fixed budget, so an
+        explicit --trials must refuse and point at --max-trials."""
+        args = build_parser().parse_args(
+            ["table4", "--adaptive", "--trials", "500"]
+        )
+        assert run(args) == 2
+        assert "--max-trials" in capsys.readouterr().err
+
+    def test_quick_adaptive_caps_the_ceiling(self, monkeypatch):
+        """--quick must stay a preview in adaptive mode: without an
+        explicit --max-trials the ceiling is the quick trial budget,
+        not the 10^6 default."""
+        from repro import cli
+
+        captured = self._capture(
+            monkeypatch, cli.table4, ["table4", "--quick", "--adaptive"]
+        )
+        assert captured["adaptive"] is True
+        assert captured["max_trials"] == cli.FAST_SETTINGS["trials"]
+        captured = self._capture(
+            monkeypatch,
+            cli.table4,
+            ["table4", "--quick", "--adaptive", "--max-trials", "9999"],
+        )
+        assert captured["max_trials"] == 9999  # explicit flag wins
+
     def test_figure_traces_receive_seed(self, monkeypatch):
         """--seed also reseeds the trace-sampling figures, not just the
         Monte-Carlo experiments (same flag-dropping class as the
@@ -183,3 +254,52 @@ class TestCliDispatch:
         assert "seed" not in captured
         assert "chunk_size" not in captured
         assert captured["jobs"] == 1
+
+
+class TestTable4Report:
+    """Regression: reports print 'rate [lo, hi] @ 95%' with trial
+    counts, never bare rates, in both fixed and adaptive modes.
+    (Backend-agnostic: without numpy the sequential fallback feeds the
+    same rendering.)"""
+
+    def test_fixed_budget_report_includes_intervals(self, capsys):
+        from repro.experiments import table4
+
+        report, details = table4.main(trials=300, seed=2)
+        assert "@95%" in report
+        assert "[" in report and "]" in report
+        assert "n=300" in report
+        assert details["total_trials"] == 3000  # 10 points x 300
+        for point in details["points"]:
+            assert point["trials_used"] == 300
+            lo, hi = point["msed_ci_95"]
+            assert 0.0 <= lo <= point["msed_percent"] / 100.0 <= hi <= 1.0
+            lo, hi = point["failure_ci_95"]
+            assert 0.0 <= lo <= hi <= 1.0
+
+    def test_adaptive_report_shows_trials_spent(self):
+        from repro.experiments import table4
+        from repro.reliability.sampling.sequential import AdaptivePolicy
+
+        policy = AdaptivePolicy(
+            ci_target=0.5, metric="failure", initial_trials=100,
+            max_trials=400,
+        )
+        table = table4.build(seed=2, adaptive=policy)
+        report = table4.render(table)
+        assert "adaptive sampling" in report
+        assert "ceiling 400" in report
+        details = table4.details(table)
+        assert details["adaptive"]["max_trials"] == 400
+        assert {p["converged"] for p in details["points"]} <= {True, False}
+
+    def test_ablation_reports_include_intervals(self):
+        from repro.experiments import ablation_shuffle
+
+        rows = ablation_shuffle.msed_sweep(trials=400, seed=2)
+        text = ablation_shuffle.render_msed(rows)
+        assert "[lo, hi] @95%" in text
+        assert all(row.trials == 400 for row in rows)
+        assert all(
+            row.msed_lo <= row.msed_percent <= row.msed_hi for row in rows
+        )

@@ -5,6 +5,7 @@ import pytest
 from repro.orchestrate.plan import (
     Chunk,
     DEFAULT_CHUNK_SIZE,
+    plan_chunk_range,
     plan_chunks,
     resolve_chunk_size,
 )
@@ -62,6 +63,35 @@ class TestPlanChunks:
             plan_chunks(10, 0)
         with pytest.raises(ValueError):
             resolve_chunk_size(10, -5)
+
+
+class TestPlanChunkRange:
+    def test_offset_range(self):
+        assert plan_chunk_range(100, 230, 64) == (
+            Chunk(100, 64), Chunk(164, 64), Chunk(228, 2),
+        )
+
+    def test_round_extension_tiles_the_stream(self):
+        """Adaptive rounds [0,n0), [n0,n1), ... tile exactly the chunks
+        a single fixed-trial plan would cover — no trial missed or
+        doubled at round boundaries."""
+        boundaries = [0, 150, 301, 603, 900]
+        tiled = [
+            t
+            for lo, hi in zip(boundaries, boundaries[1:])
+            for c in plan_chunk_range(lo, hi, 64)
+            for t in range(c.start, c.stop)
+        ]
+        assert tiled == list(range(900))
+
+    def test_empty_range_plans_nothing(self):
+        assert plan_chunk_range(42, 42, 64) == ()
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            plan_chunk_range(-1, 10)
+        with pytest.raises(ValueError):
+            plan_chunk_range(10, 5)
 
 
 class TestCounterRng:

@@ -1,5 +1,7 @@
 """Tests for MSED outcome accounting."""
 
+import pytest
+
 from repro.reliability.metrics import DesignPoint, MsedResult, MsedTally, TableIV
 
 
@@ -82,6 +84,38 @@ class TestTally:
         text = result.describe()
         assert "70.00%" in text
         assert "miscorrected 2" in text
+
+    def test_describe_deprecates_bare_rates(self):
+        """Regression: every described rate carries its interval — the
+        'rate [lo, hi] @ 95%' format, never a bare point estimate."""
+        text = MsedResult(200, 150, 30, 15, 5).describe()
+        assert "[" in text and "]" in text
+        assert "@95%" in text
+
+    def test_named_metrics_and_failure_rate(self):
+        result = MsedResult(200, 150, 30, 15, 5)
+        assert result.failure_rate == 0.1
+        assert result.rate("failure") == 0.1
+        assert result.count("silent") == 5
+        assert result.count("miscorrection") == 15
+        assert result.rate("msed") == result.msed_rate
+        with pytest.raises(ValueError, match="metric"):
+            result.rate("typo")
+
+    def test_interval_shrinks_with_trials_and_brackets_rate(self):
+        small = MsedResult(100, 90, 0, 8, 2)
+        large = MsedResult(10_000, 9_000, 0, 800, 200)
+        for metric in ("msed", "failure", "silent"):
+            for kind in ("wilson", "clopper-pearson"):
+                s = small.interval(kind=kind, metric=metric)
+                l = large.interval(kind=kind, metric=metric)
+                assert s.contains(small.rate(metric))
+                assert l.contains(large.rate(metric))
+                assert l.width < s.width
+
+    def test_zero_trials_interval_is_vacuous(self):
+        interval = MsedTally().freeze().interval()
+        assert (interval.lo, interval.hi) == (0.0, 1.0)
 
 
 class TestTableIV:
