@@ -1,0 +1,104 @@
+"""Bench: loopback distributed Table IV — parity + worker-count scaling.
+
+What this file pins and records:
+
+* a ``--distribute local:N`` table4 run tallies **byte-identical** to
+  the ``jobs=1`` in-process run (the transport moves work, never
+  results);
+* wall-clock at 1 vs 2 loopback workers goes to
+  ``benchmarks/BENCH_distributed.json`` (CI artifact) so the transport
+  overhead and scaling trajectory are tracked run over run.  Like
+  ``BENCH_parallel.json``, the speedup tracks the cores actually
+  available — ~1x (minus socket/JSON overhead) on a single-CPU
+  container, >1x on multi-core hosts — so ``cpus`` is recorded next to
+  the timings.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.distribute import DistributedSession
+from repro.reliability.monte_carlo import build_table_iv
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    HAVE_NUMPY = False
+
+requires_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+
+ARTIFACT = Path(__file__).parent / "BENCH_distributed.json"
+
+TRIALS = 20_000
+SEED = 2022
+CHUNK_SIZE = 2_048
+
+
+@requires_numpy
+def test_distributed_table_iv_parity_and_scaling():
+    build_table_iv(trials=200, seed=SEED)  # warm caches (searches, engines)
+
+    start = time.perf_counter()
+    single = build_table_iv(
+        trials=TRIALS, seed=SEED, jobs=1, chunk_size=CHUNK_SIZE
+    )
+    in_process_seconds = time.perf_counter() - start
+
+    timings = {}
+    tables = {}
+    for workers in (1, 2):
+        start = time.perf_counter()
+        with DistributedSession(local_workers=workers) as session:
+            tables[workers] = build_table_iv(
+                trials=TRIALS,
+                seed=SEED,
+                chunk_size=CHUNK_SIZE,
+                executor=session,
+            )
+        timings[workers] = time.perf_counter() - start
+
+    for workers, table in tables.items():
+        assert [p.result for p in table.points] == [
+            p.result for p in single.points
+        ], f"distributed tally diverged at {workers} workers"
+
+    # The transport must not collapse throughput: chunks of 2048 trials
+    # amortise the JSON round-trips, so even loopback-on-one-CPU stays
+    # within a modest factor of in-process.
+    overhead = timings[1] / in_process_seconds
+    assert overhead < 4.0, (
+        f"1-worker loopback run took {overhead:.2f}x the in-process time "
+        f"({timings[1]:.3f}s vs {in_process_seconds:.3f}s)"
+    )
+
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "experiment": "table4-distributed",
+                "trials": TRIALS,
+                "seed": SEED,
+                "chunk_size": CHUNK_SIZE,
+                "in_process_seconds": round(in_process_seconds, 4),
+                "workers1_seconds": round(timings[1], 4),
+                "workers2_seconds": round(timings[2], 4),
+                "workers2_speedup_vs_workers1": round(
+                    timings[1] / timings[2], 2
+                ),
+                "cpus": len(os.sched_getaffinity(0))
+                if hasattr(os, "sched_getaffinity")
+                else os.cpu_count(),
+                "note": (
+                    "speedup tracks available cores; a single-CPU "
+                    "container shows ~1x plus transport overhead"
+                ),
+            },
+            indent=2,
+        )
+        + "\n"
+    )

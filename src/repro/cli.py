@@ -10,11 +10,16 @@ Examples
     repro-muse table4 --adaptive --ci-target 0.1  # stop when CIs tighten
     repro-muse figure6 --quick             # 3-benchmark, short-trace preview
     repro-muse all --jobs 4 --results-dir results  # concurrent sweep
+    repro-muse table4 --distribute local:4 # loopback coordinator + 4 workers
+    repro-muse coordinator --run table4 --port 7000 --trials 100000000 \\
+        --checkpoint-dir ckpt              # serve chunks to remote workers
+    repro-muse worker --connect host:7000  # join a coordinator's queue
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.experiments import (
@@ -54,6 +59,11 @@ MONTE_CARLO_EXPERIMENTS = tuple(MONTE_CARLO_DEFAULT_TRIALS)
 #: tallies erasure recoveries, not MSED rates, so it stays fixed-budget.
 ADAPTIVE_EXPERIMENTS = ("table4", "ablation-shuffle", "ablation-frontier")
 
+#: The experiments whose chunk grids can fan over a coordinator/worker
+#: session (--distribute/--checkpoint-dir/--resume); their MsedTally
+#: specs are wire-registered for the JSON transport.
+DISTRIBUTED_EXPERIMENTS = ("table4", "ablation-shuffle", "ablation-frontier")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -70,8 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
             "figure6", "figure7", "rowhammer", "pim",
             "ablation-shuffle", "ablation-frontier",
             "extension-double-device", "all",
+            "coordinator", "worker",
         ],
-        help="which paper artifact to regenerate",
+        help=(
+            "which paper artifact to regenerate — or 'coordinator' / "
+            "'worker', the two halves of a distributed run"
+        ),
     )
     parser.add_argument(
         "--trials", type=int, default=None,
@@ -160,6 +174,58 @@ def build_parser() -> argparse.ArgumentParser:
             "created if missing)"
         ),
     )
+    parser.add_argument(
+        "--distribute", default=None, metavar="SPEC",
+        help=(
+            "fan the Monte-Carlo chunk grid over a coordinator/worker "
+            "session: 'local:N' spawns N loopback worker subprocesses, "
+            "'listen:PORT' (or 'listen:HOST:PORT') waits for external "
+            "'repro-muse worker' processes (table4, ablations; 'all' "
+            "supports local:N only); tallies stay byte-identical to "
+            "--jobs 1"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir", default=None,
+        help=(
+            "journal every folded chunk to this directory (atomic "
+            "writes; requires --distribute) so an interrupted run can "
+            "--resume; 'all' gives each experiment a subdirectory"
+        ),
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "resume from --checkpoint-dir: completed chunks replay from "
+            "the journal and the final tally is byte-identical to an "
+            "uninterrupted run"
+        ),
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help=(
+            "print heartbeat lines to stderr (per-design-point chunks "
+            "done / trials folded / elapsed from the coordinator, or "
+            "overall chunk progress for single-host runs); stdout "
+            "reports are unchanged"
+        ),
+    )
+    parser.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="(worker) coordinator address to pull chunk tasks from",
+    )
+    parser.add_argument(
+        "--run", default=None, choices=DISTRIBUTED_EXPERIMENTS,
+        help="(coordinator) which experiment to serve",
+    )
+    parser.add_argument(
+        "--host", default="0.0.0.0",
+        help="(coordinator) bind address (default 0.0.0.0)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=None,
+        help="(coordinator) port to serve the chunk queue on",
+    )
     return parser
 
 
@@ -186,6 +252,21 @@ def experiment_kwargs(args: argparse.Namespace) -> dict[str, dict]:
             kw["seed"] = args.seed
         if args.chunk_size is not None:
             kw["chunk_size"] = args.chunk_size
+        if name in DISTRIBUTED_EXPERIMENTS:
+            if args.distribute is not None:
+                kw["distribute"] = args.distribute
+                if args.checkpoint_dir is not None:
+                    # An 'all' sweep journals each experiment in its own
+                    # subdirectory so the journals can never collide.
+                    kw["checkpoint_dir"] = (
+                        os.path.join(args.checkpoint_dir, name)
+                        if args.experiment == "all"
+                        else args.checkpoint_dir
+                    )
+                    if args.resume:
+                        kw["resume"] = True
+            if args.progress:
+                kw["progress"] = True
         if args.adaptive and name in ADAPTIVE_EXPERIMENTS:
             kw["adaptive"] = True
             if args.ci_target is not None:
@@ -222,6 +303,84 @@ def experiment_kwargs(args: argparse.Namespace) -> dict[str, dict]:
 
 
 def run(args: argparse.Namespace) -> int:
+    if args.experiment == "worker":
+        return _run_worker(args)
+    if args.experiment == "coordinator":
+        if args.run is None or args.port is None:
+            print(
+                "error: coordinator mode needs --run EXPERIMENT and "
+                "--port PORT",
+                file=sys.stderr,
+            )
+            return 2
+        # A coordinator is just the named experiment serving its chunk
+        # queue to external workers instead of spawning loopback ones.
+        args.experiment = args.run
+        args.distribute = f"listen:{args.host}:{args.port}"
+    elif args.connect is not None:
+        print(
+            "error: --connect only applies to 'repro-muse worker'",
+            file=sys.stderr,
+        )
+        return 2
+    elif args.run is not None or args.port is not None:
+        print(
+            "error: --run/--port only apply to 'repro-muse coordinator'",
+            file=sys.stderr,
+        )
+        return 2
+    if args.distribute is not None and args.experiment not in (
+        DISTRIBUTED_EXPERIMENTS + ("all",)
+    ):
+        print(
+            f"error: --distribute applies to "
+            f"{', '.join(DISTRIBUTED_EXPERIMENTS)} (or 'all'), "
+            f"not {args.experiment}",
+            file=sys.stderr,
+        )
+        return 2
+    if (
+        args.experiment == "all"
+        and args.distribute is not None
+        and args.distribute.startswith("listen")
+    ):
+        # Workers exit when an experiment's session shuts down and do
+        # not reconnect (yet — see ROADMAP), so a listen-mode sweep
+        # would hang waiting for a fleet that already left after the
+        # first experiment.
+        print(
+            "error: 'all' cannot use --distribute listen:... (workers "
+            "do not reconnect between experiments); use --distribute "
+            "local:N, or run experiments individually via "
+            "'repro-muse coordinator --run ...'",
+            file=sys.stderr,
+        )
+        return 2
+    if args.progress and args.experiment not in (
+        DISTRIBUTED_EXPERIMENTS + ("all",)
+    ):
+        # Same flag-dropping class as the extension --trials regression:
+        # refuse rather than silently showing no heartbeat.
+        print(
+            f"error: --progress applies to "
+            f"{', '.join(DISTRIBUTED_EXPERIMENTS)} (or 'all'), "
+            f"not {args.experiment}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.checkpoint_dir is not None and args.distribute is None:
+        print(
+            "error: --checkpoint-dir requires --distribute (use "
+            "'--distribute local:1' for a single-host resumable run)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and args.checkpoint_dir is None:
+        print(
+            "error: --resume requires --checkpoint-dir",
+            file=sys.stderr,
+        )
+        return 2
     if args.adaptive and args.experiment not in ADAPTIVE_EXPERIMENTS + ("all",):
         print(
             f"error: --adaptive applies to {', '.join(ADAPTIVE_EXPERIMENTS)} "
@@ -275,6 +434,8 @@ def run(args: argparse.Namespace) -> int:
                 print(ready.pop(name))
                 emitted += 1
 
+        from repro.distribute import DistributedInterrupted
+
         try:
             run_all(
                 tasks,
@@ -282,6 +443,13 @@ def run(args: argparse.Namespace) -> int:
                 results_dir=args.results_dir,
                 on_outcome=emit,
             )
+        except DistributedInterrupted as exc:
+            print(
+                f"interrupted: {exc}\nre-run with --resume to continue "
+                f"from the checkpoint",
+                file=sys.stderr,
+            )
+            return 3
         finally:
             # Only non-empty when a failure interrupted the sweep:
             # completed experiments held back for presentation order
@@ -297,10 +465,43 @@ def run(args: argparse.Namespace) -> int:
     call_kwargs = kwargs[args.experiment]
     if args.experiment in MONTE_CARLO_EXPERIMENTS:
         call_kwargs["jobs"] = args.jobs
-    # One registry (sweep.EXPERIMENT_TARGETS) backs both direct dispatch
-    # and the 'all' sweep, so an experiment can't exist in one but not
-    # the other.
-    resolve_experiment(args.experiment)(**call_kwargs)
+    from repro.distribute import DistributedInterrupted
+
+    try:
+        # One registry (sweep.EXPERIMENT_TARGETS) backs both direct
+        # dispatch and the 'all' sweep, so an experiment can't exist in
+        # one but not the other.
+        resolve_experiment(args.experiment)(**call_kwargs)
+    except DistributedInterrupted as exc:
+        print(
+            f"interrupted: {exc}\nre-run with --resume to continue from "
+            f"the checkpoint",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+def _run_worker(args: argparse.Namespace) -> int:
+    """``repro-muse worker --connect HOST:PORT``: serve one worker."""
+    if args.connect is None:
+        print(
+            "error: worker mode needs --connect HOST:PORT",
+            file=sys.stderr,
+        )
+        return 2
+    host, sep, port = args.connect.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        print(
+            f"error: bad --connect address {args.connect!r}; expected "
+            f"HOST:PORT",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.distribute import serve_worker
+
+    executed = serve_worker(host, int(port), backend=args.backend)
+    print(f"worker done: {executed} chunks executed", file=sys.stderr)
     return 0
 
 

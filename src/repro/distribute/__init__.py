@@ -1,0 +1,175 @@
+"""Distributed multi-host execution for the Monte-Carlo studies.
+
+The scale rung over the PR-3 streaming orchestrator: because every
+chunk tally is a pure function of ``(spec, chunk range, stream key)``
+and folds commutatively, a chunk can run *anywhere* — so this package
+ships :class:`ChunkTask` specs to remote hosts over a pickle-free
+JSON-line socket protocol and folds the returned tallies exactly once:
+
+* :mod:`~repro.distribute.wire` — framing + the registered-dataclass
+  codec;
+* :mod:`~repro.distribute.queue` — the work-stealing lease queue
+  (re-queues work from dead or straggling workers);
+* :mod:`~repro.distribute.checkpoint` — the atomic per-chunk tally
+  journal behind ``--checkpoint-dir`` / ``--resume``;
+* :mod:`~repro.distribute.coordinator` — :class:`DistributedSession`,
+  the server + batch fold API (``run_tasks``) that plugs into
+  :func:`repro.orchestrate.pool.run_sharded` as an ``executor`` and
+  serves as the adaptive runner's round barrier;
+* :mod:`~repro.distribute.worker` / :mod:`~repro.distribute.local` —
+  the ``repro-muse worker --connect`` pull loop and the loopback
+  ``--distribute local:N`` subprocess fleet;
+* :mod:`~repro.distribute.progress` — the ``--progress`` heartbeats.
+
+The invariant, inherited from the chunk/fold contract and preserved by
+exactly-once folding: a distributed run's tally — and every adaptive
+stopping decision derived from it — is **byte-identical** to the
+``jobs=1`` in-process run at the same seed, across worker counts,
+worker deaths, and checkpoint/resume boundaries.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.distribute.checkpoint import JOURNAL_NAME, CheckpointJournal
+from repro.distribute.coordinator import (
+    INTERRUPT_ENV,
+    DistributedInterrupted,
+    DistributedSession,
+)
+from repro.distribute.local import spawn_local_workers
+from repro.distribute.progress import ChunkProgress, Heartbeat
+from repro.distribute.queue import ChunkQueue
+from repro.distribute.wire import (
+    PROTOCOL_VERSION,
+    from_wire,
+    register_wire_type,
+    to_wire,
+)
+from repro.distribute.worker import serve_worker
+from repro.orchestrate.rng import derive_key
+
+__all__ = [
+    "CheckpointJournal",
+    "ChunkProgress",
+    "ChunkQueue",
+    "DistributedInterrupted",
+    "DistributedSession",
+    "Heartbeat",
+    "INTERRUPT_ENV",
+    "JOURNAL_NAME",
+    "PROTOCOL_VERSION",
+    "execution_context",
+    "from_wire",
+    "parse_distribute",
+    "register_wire_type",
+    "serve_worker",
+    "session_from_spec",
+    "spawn_local_workers",
+    "to_wire",
+]
+
+
+def parse_distribute(spec: str) -> dict:
+    """Parse a ``--distribute`` spec into session keyword arguments.
+
+    * ``local:N`` — spawn N loopback worker subprocesses;
+    * ``listen:PORT`` / ``listen:HOST:PORT`` — serve the queue and wait
+      for external ``repro-muse worker --connect`` processes.
+    """
+    mode, _, rest = spec.partition(":")
+    try:
+        if mode == "local":
+            count = int(rest)
+            if count < 1:
+                raise ValueError
+            return {"local_workers": count}
+        if mode == "listen":
+            host, sep, port = rest.rpartition(":")
+            return {
+                "host": host if sep else "0.0.0.0",
+                "port": int(port if sep else rest),
+            }
+    except ValueError:
+        pass
+    raise ValueError(
+        f"bad --distribute spec {spec!r}; expected local:N, listen:PORT "
+        f"or listen:HOST:PORT"
+    )
+
+
+def session_from_spec(
+    spec: str,
+    *,
+    seed: int,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+    backend: str | None = None,
+    progress: bool = False,
+    lease_timeout: float = 60.0,
+    interrupt_after: int | None = None,
+) -> DistributedSession:
+    """Build (but do not open) the session a ``--distribute`` run uses."""
+    kwargs = parse_distribute(spec)
+    checkpoint = None
+    if checkpoint_dir is not None:
+        # Rate-limit journal rewrites (O(entries) each): folds between
+        # saves are only ever re-computable work, and the coordinator
+        # flushes at every batch barrier, interrupt, and close.
+        checkpoint = CheckpointJournal.open(
+            checkpoint_dir,
+            key=derive_key(seed),
+            resume=resume,
+            min_save_interval=2.0,
+        )
+    return DistributedSession(
+        backend=backend,
+        checkpoint=checkpoint,
+        lease_timeout=lease_timeout,
+        heartbeat=Heartbeat() if progress else None,
+        interrupt_after=interrupt_after,
+        **kwargs,
+    )
+
+
+@contextlib.contextmanager
+def execution_context(
+    distribute: str | None,
+    *,
+    seed: int,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+    backend: str | None = None,
+    progress: bool = False,
+    lease_timeout: float = 60.0,
+) -> Iterator[tuple]:
+    """The one experiment-side entry point: ``(executor, progress_cb)``.
+
+    With ``distribute`` set, yields an open :class:`DistributedSession`
+    (heartbeats cover progress, so the callback is ``None``); without
+    it, yields no executor and — when ``progress`` is on — the
+    single-host :class:`ChunkProgress` printer.  Checkpoints belong to
+    the coordinator, so ``checkpoint_dir`` without ``distribute``
+    refuses loudly instead of silently not journaling.
+    """
+    if distribute is None:
+        if checkpoint_dir is not None:
+            raise ValueError(
+                "--checkpoint-dir requires --distribute (use "
+                "'--distribute local:1' for a single-host resumable run)"
+            )
+        yield None, (ChunkProgress() if progress else None)
+        return
+    session = session_from_spec(
+        distribute,
+        seed=seed,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        backend=backend,
+        progress=progress,
+        lease_timeout=lease_timeout,
+    )
+    with session:
+        yield session, None

@@ -1,0 +1,230 @@
+"""Persistent tally checkpoints: journal every folded chunk, resume any
+interrupted run byte-identically.
+
+The journal records one entry per completed :class:`ChunkTask` —
+``(group, chunk range, chunk tally)`` — plus the run's stream ``key``.
+Per-*chunk* tallies (not just a folded total per group) are what make
+resume exact under **any** batch structure: an adaptive run submits
+rounds of chunk ranges, a resumed coordinator replays the same
+deterministic rounds, and every chunk the journal already holds is
+answered from disk while the rest recompute — the fold is the same
+integer sums either way, so the resumed tally (and every adaptive
+stopping decision derived from it) is byte-identical to an
+uninterrupted run.  A chunk plan that *doesn't* match the journal
+(different ``chunk_size``) simply misses and recomputes — still
+correct, just unsaved work.
+
+Every save is an atomic temp-file + rename
+(:func:`repro.orchestrate.persist.atomic_write_json`), so a run killed
+mid-write leaves either the previous complete journal or the new one,
+never a truncated file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.orchestrate.persist import atomic_write_json
+from repro.orchestrate.plan import Chunk
+from repro.reliability.metrics import MsedTally
+
+JOURNAL_VERSION = 1
+JOURNAL_NAME = "checkpoint.json"
+
+_TALLY_FIELDS = (
+    "trials",
+    "detected_no_match",
+    "detected_confinement",
+    "miscorrected",
+    "silent",
+)
+
+
+def _group_key(group: Any) -> str:
+    """A stable string key for a task group (JSON round-trippable)."""
+    return json.dumps(group, sort_keys=True)
+
+
+def spec_fingerprint(spec: Any) -> str:
+    """What must match for a journalled chunk to be reusable.
+
+    The spec's structural repr, minus the decode backend: scalar and
+    numpy tally byte-identically (the PR-1/PR-2 contract), so a
+    checkpoint taken on one backend resumes on any other — but a
+    changed code, ``k_symbols`` or decode policy must refuse, not
+    silently fold chunks of a different experiment.
+    """
+    if dataclasses.is_dataclass(spec) and hasattr(spec, "backend"):
+        spec = dataclasses.replace(spec, backend="any")
+    return repr(spec)
+
+
+class CheckpointJournal:
+    """All completed chunks of one run, persisted atomically.
+
+    In memory: ``(group key, start, size) -> MsedTally``.  On disk: one
+    JSON document, rewritten atomically.  By default every
+    :meth:`record` persists immediately; for long runs the rewrite is
+    O(entries), so ``min_save_interval`` (seconds) rate-limits the hot
+    path — the coordinator flushes pending entries at every batch
+    barrier, on interrupt, and at session close, so a hard kill loses
+    at most an interval's worth of *re-computable* chunks, never
+    correctness.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        key: int,
+        save_every: int = 1,
+        min_save_interval: float = 0.0,
+    ):
+        self.path = Path(path)
+        self.key = key
+        self.save_every = max(1, save_every)
+        self.min_save_interval = min_save_interval
+        self._last_save = -float("inf")
+        self._entries: dict[tuple[str, int, int], MsedTally] = {}
+        self._fingerprints: dict[str, str] = {}
+        self._unsaved = 0
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | Path,
+        key: int,
+        resume: bool = False,
+        save_every: int = 1,
+        min_save_interval: float = 0.0,
+    ) -> "CheckpointJournal":
+        """Start (or resume) the journal under ``directory``.
+
+        A fresh run refuses to clobber an existing journal — passing
+        ``resume=True`` is the explicit opt-in that loads it instead.
+        A resumed journal must match this run's stream ``key`` (seed):
+        folding chunks of a different stream would silently corrupt the
+        tally.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        journal = cls(
+            directory / JOURNAL_NAME,
+            key,
+            save_every=save_every,
+            min_save_interval=min_save_interval,
+        )
+        if journal.path.exists():
+            if not resume:
+                raise FileExistsError(
+                    f"{journal.path} already holds a checkpoint journal; "
+                    f"pass resume=True (--resume) to continue it, or remove "
+                    f"the directory to start over"
+                )
+            journal._load()
+        elif resume:
+            # Resuming nothing is fine (first run of a resumable
+            # campaign) — start empty.
+            pass
+        return journal
+
+    def _load(self) -> None:
+        payload = json.loads(self.path.read_text())
+        if payload.get("version") != JOURNAL_VERSION:
+            raise ValueError(
+                f"checkpoint journal {self.path} has version "
+                f"{payload.get('version')!r}, expected {JOURNAL_VERSION}"
+            )
+        if payload.get("key") != self.key:
+            raise ValueError(
+                f"checkpoint journal {self.path} belongs to stream key "
+                f"{payload.get('key')} but this run uses key {self.key} "
+                f"(different --seed?); refusing to mix streams"
+            )
+        for group_key, entry in payload.get("groups", {}).items():
+            self._fingerprints[group_key] = entry["spec"]
+            for start, size, counts in entry["chunks"]:
+                self._entries[(group_key, start, size)] = MsedTally(
+                    **{name: counts[name] for name in _TALLY_FIELDS}
+                )
+
+    # -- queries --------------------------------------------------------
+
+    def lookup(
+        self, group: Any, chunk: Chunk, fingerprint: str
+    ) -> MsedTally | None:
+        """The journalled tally for one chunk, or ``None`` (a *copy*:
+        callers fold it into mutable accumulators)."""
+        group_key = _group_key(group)
+        self._check_fingerprint(group_key, fingerprint)
+        held = self._entries.get((group_key, chunk.start, chunk.size))
+        if held is None:
+            return None
+        return MsedTally().merge(held)
+
+    def _check_fingerprint(self, group_key: str, fingerprint: str) -> None:
+        known = self._fingerprints.get(group_key)
+        if known is not None and known != fingerprint:
+            raise ValueError(
+                f"checkpoint journal {self.path} recorded group {group_key} "
+                f"for a different simulator configuration\n"
+                f"  journal: {known}\n"
+                f"  this run: {fingerprint}\n"
+                f"resume with the original settings or start a fresh "
+                f"checkpoint directory"
+            )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- updates --------------------------------------------------------
+
+    def record(
+        self, group: Any, chunk: Chunk, tally: MsedTally, fingerprint: str
+    ) -> None:
+        """Journal one completed chunk and (by default) persist now."""
+        group_key = _group_key(group)
+        self._check_fingerprint(group_key, fingerprint)
+        self._fingerprints[group_key] = fingerprint
+        self._entries[(group_key, chunk.start, chunk.size)] = (
+            MsedTally().merge(tally)
+        )
+        self._unsaved += 1
+        if (
+            self._unsaved >= self.save_every
+            and time.monotonic() - self._last_save >= self.min_save_interval
+        ):
+            self.save()
+
+    def flush(self) -> None:
+        """Persist any entries the rate limit is still holding back."""
+        if self._unsaved:
+            self.save()
+
+    def save(self) -> None:
+        """Atomically rewrite the journal file."""
+        groups: dict[str, dict] = {}
+        for (group_key, start, size), tally in sorted(self._entries.items()):
+            entry = groups.setdefault(
+                group_key,
+                {
+                    "spec": self._fingerprints.get(group_key, ""),
+                    "chunks": [],
+                    "folded": dict.fromkeys(_TALLY_FIELDS, 0),
+                },
+            )
+            counts = {name: getattr(tally, name) for name in _TALLY_FIELDS}
+            entry["chunks"].append([start, size, counts])
+            for name in _TALLY_FIELDS:
+                entry["folded"][name] += counts[name]
+        atomic_write_json(
+            self.path,
+            {"version": JOURNAL_VERSION, "key": self.key, "groups": groups},
+        )
+        self._unsaved = 0
+        self._last_save = time.monotonic()

@@ -1,0 +1,417 @@
+"""The coordinator: serve a work-stealing chunk queue, fold the tallies.
+
+One :class:`DistributedSession` owns the whole distributed run:
+
+* a threaded TCP server speaking the JSON-line protocol
+  (:mod:`repro.distribute.wire`) — one handler thread per connected
+  worker, all mutating one lock-guarded :class:`ChunkQueue`;
+* the **fold**: every first-completion tally merges into its group via
+  ``MsedTally.merge`` exactly once (duplicates from stolen leases are
+  dropped), so the distributed result is byte-identical to ``jobs=1``
+  whatever the completion order, worker count, or failure history;
+* optional **checkpoints**: each fold is journalled through a
+  :class:`~repro.distribute.checkpoint.CheckpointJournal`, and tasks a
+  resumed journal already holds are answered from disk without ever
+  being queued;
+* the **round barrier**: :meth:`run_tasks` is a batch call — submit,
+  wait for every fold, return ``{group: tally}`` — which is exactly the
+  synchronisation point the adaptive runner needs: the coordinator
+  process evaluates the stopping policy between batches and decides
+  continue/stop per look.
+
+Workers survive across batches: between rounds they poll and are told
+to idle, so an adaptive run pays connection setup once.
+"""
+
+from __future__ import annotations
+
+import os
+import socketserver
+import threading
+import time
+from typing import Any, Iterable
+
+from repro.distribute.checkpoint import CheckpointJournal, spec_fingerprint
+from repro.distribute.progress import Heartbeat
+from repro.distribute.queue import ChunkQueue
+from repro.distribute.wire import (
+    PROTOCOL_VERSION,
+    from_wire,
+    recv_message,
+    send_message,
+    to_wire,
+)
+from repro.orchestrate.pool import ProgressCallback
+from repro.reliability.metrics import MsedTally
+
+#: Environment hook for fault-injection smoke tests (CI): interrupt the
+#: session after this many computed folds, as if the coordinator died.
+INTERRUPT_ENV = "REPRO_DISTRIBUTE_INTERRUPT_AFTER"
+
+#: A task that fails on this many distinct attempts aborts the run —
+#: a deterministic bug would otherwise bounce between workers forever.
+MAX_TASK_ATTEMPTS = 3
+
+
+class DistributedInterrupted(RuntimeError):
+    """Raised by the forced-interrupt fault hook after the journal is
+    saved; a ``--resume`` run picks up from the checkpoint."""
+
+
+class _WorkerServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    session: "DistributedSession"
+
+    def handle_error(self, request, client_address) -> None:
+        # A connection dropping mid-message is a normal fault-tolerance
+        # event (a worker died); the handler's ``finally`` has already
+        # re-queued its leases — no stack trace needed.
+        pass
+
+
+class _WorkerHandler(socketserver.StreamRequestHandler):
+    """One connected worker: a strict request→reply message loop."""
+
+    def handle(self) -> None:
+        session: DistributedSession = self.server.session
+        worker = f"{self.client_address[0]}:{self.client_address[1]}"
+        hello = recv_message(self.rfile)
+        if not hello or hello.get("op") != "hello":
+            return
+        if hello.get("version") != PROTOCOL_VERSION:
+            send_message(
+                self.wfile,
+                {
+                    "op": "error",
+                    "message": f"protocol version {hello.get('version')} != "
+                    f"{PROTOCOL_VERSION}",
+                },
+            )
+            return
+        send_message(self.wfile, {"op": "welcome", "version": PROTOCOL_VERSION})
+        session._worker_joined(worker)
+        try:
+            while True:
+                message = recv_message(self.rfile)
+                if message is None:
+                    return  # worker went away; leases re-queue below
+                reply = session._handle_message(worker, message)
+                send_message(self.wfile, reply)
+                if reply["op"] == "shutdown":
+                    return
+        finally:
+            session._worker_gone(worker)
+
+
+class DistributedSession:
+    """Coordinator lifecycle + the batch fold API (context manager).
+
+    ``local_workers=N`` spawns N loopback worker subprocesses against
+    the session's own ephemeral port — the full distributed path on one
+    host, which is what tests, CI, and ``--distribute local:N`` use.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        local_workers: int = 0,
+        backend: str | None = None,
+        checkpoint: CheckpointJournal | None = None,
+        lease_timeout: float = 60.0,
+        heartbeat: Heartbeat | None = None,
+        interrupt_after: int | None = None,
+        poll_interval: float = 0.02,
+    ):
+        self.host = host
+        self.requested_port = port
+        self.local_workers = local_workers
+        self.backend = backend
+        self.checkpoint = checkpoint
+        self.lease_timeout = lease_timeout
+        self.heartbeat = heartbeat
+        if interrupt_after is None and os.environ.get(INTERRUPT_ENV):
+            interrupt_after = int(os.environ[INTERRUPT_ENV])
+        self.interrupt_after = interrupt_after
+        self.poll_interval = poll_interval
+
+        self._lock = threading.Lock()
+        self._queue = ChunkQueue(lease_timeout=lease_timeout)
+        self._batch_event = threading.Event()
+        self._batch: dict[str, Any] | None = None
+        self._attempts: dict[int, int] = {}
+        self._error: str | None = None
+        self._interrupted = False
+        self._folds = 0
+        self._group_trials: dict[Any, int] = {}
+        self._workers: set[str] = set()
+        self._closed = False
+        self._server: _WorkerServer | None = None
+        self._server_thread: threading.Thread | None = None
+        self.worker_processes: list = []
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("session is not open")
+        return self._server.server_address[1]
+
+    @property
+    def workers_connected(self) -> int:
+        with self._lock:
+            return len(self._workers)
+
+    def open(self) -> "DistributedSession":
+        if self._server is not None:
+            raise RuntimeError("session already open")
+        self._server = _WorkerServer(
+            (self.host, self.requested_port), _WorkerHandler
+        )
+        self._server.session = self
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+            name="repro-coordinator",
+        )
+        self._server_thread.start()
+        if self.local_workers:
+            from repro.distribute.local import spawn_local_workers
+
+            self.worker_processes = spawn_local_workers(
+                self.host, self.port, self.local_workers, backend=self.backend
+            )
+        return self
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+        for process in self.worker_processes:
+            process.join(timeout=5.0)
+        for process in self.worker_processes:
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=1.0)
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self.checkpoint is not None:
+            self.checkpoint.flush()
+
+    def __enter__(self) -> "DistributedSession":
+        return self.open()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the batch fold API (what run_sharded plugs into) ---------------
+
+    def run_tasks(
+        self,
+        tasks: Iterable[Any],
+        progress: ProgressCallback | None = None,
+    ) -> dict[Any, MsedTally]:
+        """Run one batch of chunk tasks to completion; the round barrier.
+
+        Returns ``{group: folded tally}`` exactly like
+        :func:`repro.orchestrate.pool.run_sharded` — checkpointed chunks
+        fold from the journal, the rest fold as workers return them.
+        """
+        task_list = list(tasks)
+        with self._lock:
+            if self._server is None or self._closed:
+                raise RuntimeError("session is not open")
+            results: dict[Any, MsedTally] = {}
+            per_group: dict[Any, list[int]] = {}  # group -> [done, total]
+            for task in task_list:
+                per_group.setdefault(task.group, [0, 0])[1] += 1
+            self._batch = {
+                "results": results,
+                "per_group": per_group,
+                "total": len(task_list),
+                "done": 0,
+                "progress": progress,
+            }
+            self._batch_event.clear()
+            replayed = []
+            for task in task_list:
+                cached = (
+                    self.checkpoint.lookup(
+                        task.group, task.chunk, spec_fingerprint(task.spec)
+                    )
+                    if self.checkpoint is not None
+                    else None
+                )
+                if cached is not None:
+                    replayed.append((task, cached))
+                else:
+                    self._queue.add_task(task)
+            for task, cached in replayed:
+                self._fold_locked(task, cached, journal=False)
+            finished = self._batch["done"] >= self._batch["total"]
+        while not finished:
+            self._batch_event.wait(timeout=0.1)
+            with self._lock:
+                self._check_interrupt_locked()
+                if self._error is not None:
+                    message, self._error = self._error, None
+                    raise RuntimeError(f"distributed run failed: {message}")
+                stolen = self._queue.reap_expired(time.monotonic())
+                if stolen and self.heartbeat is not None:
+                    print(
+                        f"[progress] re-queued {stolen} expired lease(s)",
+                        file=self.heartbeat.stream,
+                        flush=True,
+                    )
+                if (
+                    self.worker_processes
+                    and not self._workers
+                    and not any(
+                        worker.is_alive() for worker in self.worker_processes
+                    )
+                ):
+                    # A local fleet cannot grow back: with every spawned
+                    # worker dead and none connected, waiting is forever.
+                    # (A listen-mode session keeps waiting — external
+                    # workers may join at any time.)
+                    raise RuntimeError(
+                        "all local workers exited with work outstanding; "
+                        "see their stderr for the underlying failure"
+                    )
+                finished = self._batch["done"] >= self._batch["total"]
+        with self._lock:
+            self._batch = None
+            if self.checkpoint is not None:
+                # The batch barrier is a durability point: anything the
+                # journal's rate limit held back lands now.
+                self.checkpoint.flush()
+        return results
+
+    # -- message handling (worker threads) ------------------------------
+
+    def _handle_message(self, worker: str, message: dict) -> dict:
+        op = message.get("op")
+        if op == "next":
+            return self._next_task(worker)
+        if op == "result":
+            self._take_result(message["id"], from_wire(message["tally"]))
+            return {"op": "ok"}
+        if op == "failed":
+            self._take_failure(message["id"], message.get("error", "unknown"))
+            return {"op": "ok"}
+        return {"op": "error", "message": f"unknown op {op!r}"}
+
+    def _next_task(self, worker: str) -> dict:
+        with self._lock:
+            if self._closed:
+                return {"op": "shutdown"}
+            now = time.monotonic()
+            self._queue.reap_expired(now)
+            claim = self._queue.claim(worker, now)
+            if claim is None:
+                return {"op": "idle", "delay": self.poll_interval}
+            task_id, task = claim
+            return {"op": "task", "id": task_id, "task": to_wire(task)}
+
+    def _take_result(self, task_id: int, tally: MsedTally) -> None:
+        with self._lock:
+            if not self._queue.complete(task_id):
+                return  # duplicate from a stolen lease: fold exactly once
+            task = self._queue.tasks[task_id]
+            self._fold_locked(task, tally, journal=True)
+
+    def _take_failure(self, task_id: int, error: str) -> None:
+        with self._lock:
+            if task_id in self._queue.completed:
+                return
+            attempts = self._attempts.get(task_id, 0) + 1
+            self._attempts[task_id] = attempts
+            self._queue.requeue(task_id)
+            if attempts >= MAX_TASK_ATTEMPTS:
+                self._error = (
+                    f"task {task_id} failed on {attempts} attempts: {error}"
+                )
+                self._batch_event.set()
+
+    def _worker_joined(self, worker: str) -> None:
+        with self._lock:
+            self._workers.add(worker)
+
+    def _worker_gone(self, worker: str) -> None:
+        with self._lock:
+            self._workers.discard(worker)
+            stolen = self._queue.release_worker(worker)
+            if stolen and self.heartbeat is not None:
+                print(
+                    f"[progress] worker {worker} left; re-queued {stolen} "
+                    f"lease(s)",
+                    file=self.heartbeat.stream,
+                    flush=True,
+                )
+
+    # -- fold (lock held) ------------------------------------------------
+
+    def _fold_locked(
+        self, task: Any, tally: MsedTally, journal: bool
+    ) -> None:
+        batch = self._batch
+        if batch is None:  # pragma: no cover - late result after barrier
+            return
+        held = batch["results"].get(task.group)
+        if held is None:
+            batch["results"][task.group] = MsedTally().merge(tally)
+        else:
+            held.merge(tally)
+        if journal:
+            self._folds += 1
+            if self.checkpoint is not None:
+                self.checkpoint.record(
+                    task.group, task.chunk, tally, spec_fingerprint(task.spec)
+                )
+        batch["done"] += 1
+        stats = batch["per_group"][task.group]
+        stats[0] += 1
+        self._group_trials[task.group] = (
+            self._group_trials.get(task.group, 0) + tally.trials
+        )
+        if self.heartbeat is not None:
+            self.heartbeat.tick(
+                task.group,
+                stats[0],
+                stats[1],
+                self._group_trials[task.group],
+                batch["done"],
+                batch["total"],
+            )
+        if batch["progress"] is not None:
+            batch["progress"](batch["done"], batch["total"])
+        if batch["done"] >= batch["total"]:
+            self._batch_event.set()
+        if (
+            self.interrupt_after is not None
+            and self._folds >= self.interrupt_after
+        ):
+            self._batch_event.set()
+
+    def _check_interrupt_locked(self) -> None:
+        if (
+            self.interrupt_after is not None
+            and not self._interrupted
+            and self._folds >= self.interrupt_after
+        ):
+            self._interrupted = True
+            if self.checkpoint is not None:
+                self.checkpoint.flush()
+            raise DistributedInterrupted(
+                f"forced interrupt after {self._folds} folded chunks"
+                + (
+                    f"; checkpoint saved to {self.checkpoint.path}"
+                    if self.checkpoint is not None
+                    else ""
+                )
+            )

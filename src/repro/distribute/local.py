@@ -1,0 +1,87 @@
+"""Loopback workers: the full distributed path on a single host.
+
+``--distribute local:N`` spawns N worker *subprocesses* against the
+coordinator's ephemeral loopback port — real sockets, real process
+boundaries, real worker loss — so tests, CI, and single-host users
+exercise exactly the code path a multi-host fleet runs, with none of
+the deployment.
+
+Workers are plain ``subprocess`` children running a one-line
+``-c`` entry into :func:`repro.distribute.worker.serve_worker`: no
+``multiprocessing`` start-method games, no re-import of the caller's
+``__main__``, and a handle with ``poll()``/``terminate()`` — which the
+fault-tolerance tests use to kill one mid-run on purpose.  A worker
+orphaned by a dying coordinator sees EOF on its socket and exits on
+its own.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+_ENTRY = """\
+import sys
+from repro.distribute.worker import serve_worker
+serve_worker(
+    sys.argv[1], int(sys.argv[2]),
+    backend=sys.argv[3] or None,
+    connect_timeout=float(sys.argv[4]),
+    name=sys.argv[5],
+)
+"""
+
+
+class LocalWorker:
+    """One loopback worker subprocess (thin handle over ``Popen``)."""
+
+    def __init__(self, process: subprocess.Popen, name: str):
+        self.process = process
+        self.name = name
+
+    def is_alive(self) -> bool:
+        return self.process.poll() is None
+
+    def terminate(self) -> None:
+        self.process.terminate()
+
+    def kill(self) -> None:
+        self.process.kill()
+
+    def join(self, timeout: float | None = None) -> None:
+        try:
+            self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            pass
+
+
+def spawn_local_workers(
+    host: str,
+    port: int,
+    count: int,
+    backend: str | None = None,
+    connect_timeout: float = 30.0,
+) -> list[LocalWorker]:
+    """Start ``count`` worker subprocesses connected to ``host:port``.
+
+    Returns the handles; the caller (the session) owns shutdown.
+    """
+    if count < 1:
+        raise ValueError(f"need at least one local worker, got {count}")
+    workers = []
+    for index in range(count):
+        name = f"local-{index}"
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                _ENTRY,
+                host,
+                str(port),
+                backend or "",
+                str(connect_timeout),
+                name,
+            ],
+        )
+        workers.append(LocalWorker(process, name))
+    return workers

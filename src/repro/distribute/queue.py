@@ -1,0 +1,126 @@
+"""The coordinator's work-stealing chunk queue.
+
+Workers *pull*: an idle worker asks for the next task, the queue hands
+one out under a **lease** (task id, worker, deadline), and the fold
+happens when the worker reports the result back.  Fault tolerance is
+two rules on top of that:
+
+* **death** — when a worker's connection drops, every lease it held is
+  re-queued immediately (:meth:`ChunkQueue.release_worker`);
+* **straggling** — a lease older than ``lease_timeout`` is stolen back
+  into the pending queue (:meth:`ChunkQueue.reap_expired`), so one hung
+  host cannot wedge the run.
+
+Both rules can make a task run more than once; the queue keeps the fold
+**exactly-once** anyway by marking each task id completed on the first
+result and telling callers to drop duplicates
+(:meth:`ChunkQueue.complete` returns ``False``).  Because every chunk
+tally is a pure function of its task (the PR-3 counter-RNG contract),
+a duplicate execution computes the *same* tally, so dropping it keeps
+the folded result byte-identical to a single-execution run.
+
+The queue is plain state + methods, synchronised by the caller (the
+coordinator holds one lock around all queue access), which keeps the
+logic single-threaded and unit-testable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Lease:
+    """One outstanding task: who has it and when it is presumed lost."""
+
+    task_id: int
+    worker: str
+    deadline: float
+
+
+@dataclass
+class ChunkQueue:
+    """Lease-based pull queue over integer task ids."""
+
+    lease_timeout: float = 60.0
+    tasks: dict[int, Any] = field(default_factory=dict)
+    pending: deque = field(default_factory=deque)
+    leases: dict[int, Lease] = field(default_factory=dict)
+    completed: set = field(default_factory=set)
+    requeues: int = 0
+    _next_id: int = 0
+
+    def add_task(self, task: Any) -> int:
+        task_id = self._next_id
+        self._next_id += 1
+        self.tasks[task_id] = task
+        self.pending.append(task_id)
+        return task_id
+
+    def claim(self, worker: str, now: float) -> tuple[int, Any] | None:
+        """Lease the next pending task to ``worker``; ``None`` if the
+        queue is momentarily empty (idle — or all work is leased out)."""
+        while self.pending:
+            task_id = self.pending.popleft()
+            if task_id in self.completed:
+                continue
+            self.leases[task_id] = Lease(
+                task_id, worker, now + self.lease_timeout
+            )
+            return task_id, self.tasks[task_id]
+        return None
+
+    def complete(self, task_id: int) -> bool:
+        """First completion wins: ``True`` to fold, ``False`` to drop a
+        duplicate from a stolen or re-queued lease."""
+        self.leases.pop(task_id, None)
+        if task_id in self.completed:
+            return False
+        if task_id not in self.tasks:
+            raise KeyError(f"unknown task id {task_id}")
+        self.completed.add(task_id)
+        return True
+
+    def requeue(self, task_id: int) -> None:
+        """Put one leased task back in the pending queue (worker
+        reported a failure; another attempt may succeed elsewhere)."""
+        self.leases.pop(task_id, None)
+        if task_id not in self.completed:
+            self.pending.append(task_id)
+            self.requeues += 1
+
+    def release_worker(self, worker: str) -> int:
+        """Re-queue every lease a (dead) worker holds; returns count."""
+        stolen = [
+            lease.task_id
+            for lease in self.leases.values()
+            if lease.worker == worker
+        ]
+        for task_id in stolen:
+            del self.leases[task_id]
+            self.pending.append(task_id)
+        self.requeues += len(stolen)
+        return len(stolen)
+
+    def reap_expired(self, now: float) -> int:
+        """Steal back every lease past its deadline; returns count."""
+        expired = [
+            lease.task_id
+            for lease in self.leases.values()
+            if lease.deadline <= now
+        ]
+        for task_id in expired:
+            del self.leases[task_id]
+            self.pending.append(task_id)
+        self.requeues += len(expired)
+        return len(expired)
+
+    @property
+    def done(self) -> bool:
+        return len(self.completed) == len(self.tasks)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self.tasks) - len(self.completed)

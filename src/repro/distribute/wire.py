@@ -1,0 +1,119 @@
+"""Wire format for the coordinator/worker transport: JSON lines.
+
+Everything that crosses a host boundary is a single line of JSON — no
+pickle, so a worker never executes anything a coordinator (or a
+man-in-the-middle on a trusted LAN) chooses beyond the registered spec
+dataclasses, and either side can be debugged with ``nc`` and eyeballs.
+
+Two layers:
+
+* **framing** — :func:`send_message` / :func:`recv_message` move one
+  JSON object per ``\\n``-terminated line over a socket file;
+* **codec** — :func:`to_wire` / :func:`from_wire` turn the registered
+  frozen dataclasses (:class:`ChunkTask` and the sim specs it carries)
+  into tagged JSON objects and back.  Tuples are tagged too, so a
+  decoded spec is *structurally equal* to the one encoded — which is
+  what keeps the per-worker runner cache
+  (:func:`repro.orchestrate.worker.runner_for`) hitting across tasks.
+
+The registry is open: :func:`register_wire_type` admits new spec
+dataclasses (e.g. an erasure-study spec) without touching the
+transport.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields, is_dataclass
+from typing import Any, BinaryIO
+
+from repro.orchestrate.plan import Chunk
+from repro.orchestrate.worker import ChunkTask, CodeRef, MuseSimSpec, RsSimSpec
+from repro.reliability.metrics import MsedTally
+
+#: Protocol version; both ends refuse a mismatch instead of
+#: mis-decoding each other.
+PROTOCOL_VERSION = 1
+
+_TYPE_TAG = "__type__"
+_TUPLE_TAG = "__tuple__"
+
+#: name -> dataclass for every object allowed on the wire.
+_WIRE_TYPES: dict[str, type] = {}
+
+
+def register_wire_type(cls: type) -> type:
+    """Admit a (frozen) dataclass to the wire codec.  Returns ``cls``
+    so it can be used as a decorator by extension spec types."""
+    if not is_dataclass(cls):
+        raise TypeError(f"wire types must be dataclasses, got {cls!r}")
+    _WIRE_TYPES[cls.__name__] = cls
+    return cls
+
+
+for _cls in (Chunk, CodeRef, MuseSimSpec, RsSimSpec, ChunkTask, MsedTally):
+    register_wire_type(_cls)
+
+
+def to_wire(obj: Any) -> Any:
+    """A JSON-ready tree for ``obj`` (registered dataclasses, tuples,
+    and JSON scalars/containers, recursively)."""
+    if is_dataclass(obj) and not isinstance(obj, type):
+        name = type(obj).__name__
+        if name not in _WIRE_TYPES:
+            raise TypeError(
+                f"{name} is not wire-registered; call register_wire_type "
+                f"before shipping it to workers"
+            )
+        payload = {_TYPE_TAG: name}
+        for field in fields(obj):
+            payload[field.name] = to_wire(getattr(obj, field.name))
+        return payload
+    if isinstance(obj, tuple):
+        return {_TUPLE_TAG: [to_wire(item) for item in obj]}
+    if isinstance(obj, list):
+        return [to_wire(item) for item in obj]
+    if isinstance(obj, dict):
+        return {key: to_wire(value) for key, value in obj.items()}
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot encode {type(obj).__name__} for the wire: {obj!r}")
+
+
+def from_wire(payload: Any) -> Any:
+    """Inverse of :func:`to_wire` (structural equality round-trip)."""
+    if isinstance(payload, dict):
+        if _TUPLE_TAG in payload:
+            return tuple(from_wire(item) for item in payload[_TUPLE_TAG])
+        if _TYPE_TAG in payload:
+            name = payload[_TYPE_TAG]
+            cls = _WIRE_TYPES.get(name)
+            if cls is None:
+                raise ValueError(
+                    f"unknown wire type {name!r}; both ends must register "
+                    f"the same spec dataclasses"
+                )
+            kwargs = {
+                key: from_wire(value)
+                for key, value in payload.items()
+                if key != _TYPE_TAG
+            }
+            return cls(**kwargs)
+        return {key: from_wire(value) for key, value in payload.items()}
+    if isinstance(payload, list):
+        return [from_wire(item) for item in payload]
+    return payload
+
+
+def send_message(stream: BinaryIO, message: dict) -> None:
+    """Write one message as a single JSON line and flush it."""
+    stream.write(json.dumps(message, separators=(",", ":")).encode() + b"\n")
+    stream.flush()
+
+
+def recv_message(stream: BinaryIO) -> dict | None:
+    """Read one message; ``None`` on a clean EOF (peer went away)."""
+    line = stream.readline()
+    if not line:
+        return None
+    return json.loads(line)

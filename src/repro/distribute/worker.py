@@ -1,0 +1,130 @@
+"""The worker side: connect, pull chunk tasks, push tallies.
+
+``repro-muse worker --connect HOST:PORT`` runs :func:`serve_worker`: a
+single-threaded pull loop against the coordinator's queue.  Each task
+is decoded from the wire, its runner rebuilt (and cached) through the
+PR-3 per-worker cache (:func:`repro.orchestrate.worker.runner_for` via
+:func:`run_chunk_task`), its chunk executed with whatever decode
+backend this host has, and the resulting tally shipped back as plain
+integers — so a heterogeneous fleet (numpy here, scalar there) still
+folds byte-identical results.
+
+A worker is expendable by design: if it dies mid-chunk the coordinator
+re-queues its leases, and if its chunk raises it reports the failure
+and moves on rather than wedging.  The loop ends when the coordinator
+says ``shutdown`` or goes away (EOF).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import socket
+import time
+
+from repro.distribute.wire import (
+    PROTOCOL_VERSION,
+    from_wire,
+    recv_message,
+    send_message,
+    to_wire,
+)
+from repro.orchestrate.worker import run_chunk_task
+
+
+def _connect_with_retry(
+    host: str, port: int, timeout: float
+) -> socket.socket:
+    """Retry until the coordinator is listening (workers often start
+    first, e.g. under a process supervisor)."""
+    deadline = time.monotonic() + timeout
+    delay = 0.05
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=30.0)
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(delay)
+            delay = min(delay * 2, 1.0)
+
+
+def _with_backend(task, backend: str | None):
+    """Re-target a task's spec at this worker's decode backend.
+
+    Safe by the cross-backend contract: scalar and numpy tally
+    byte-identically, so a mixed fleet still folds one truth.
+    """
+    if backend is None or not hasattr(task.spec, "backend"):
+        return task
+    return dataclasses.replace(
+        task, spec=dataclasses.replace(task.spec, backend=backend)
+    )
+
+
+def serve_worker(
+    host: str,
+    port: int,
+    backend: str | None = None,
+    connect_timeout: float = 10.0,
+    name: str | None = None,
+) -> int:
+    """Serve one worker until the coordinator shuts the run down.
+
+    Returns the number of chunks executed (handy for tests and logs).
+    """
+    sock = _connect_with_retry(host, port, connect_timeout)
+    executed = 0
+    try:
+        sock.settimeout(None)
+        rfile = sock.makefile("rb")
+        wfile = sock.makefile("wb")
+        send_message(
+            wfile,
+            {
+                "op": "hello",
+                "version": PROTOCOL_VERSION,
+                "worker": name or f"pid-{os.getpid()}",
+            },
+        )
+        welcome = recv_message(rfile)
+        if not welcome or welcome.get("op") != "welcome":
+            raise RuntimeError(
+                f"coordinator refused the connection: {welcome!r}"
+            )
+        while True:
+            send_message(wfile, {"op": "next"})
+            reply = recv_message(rfile)
+            if reply is None or reply.get("op") == "shutdown":
+                return executed
+            if reply.get("op") == "idle":
+                time.sleep(float(reply.get("delay", 0.05)))
+                continue
+            if reply.get("op") != "task":
+                raise RuntimeError(f"unexpected coordinator reply: {reply!r}")
+            task = _with_backend(from_wire(reply["task"]), backend)
+            try:
+                _, tally = run_chunk_task(task)
+            except Exception as exc:  # report, don't die: the chunk may
+                # succeed on a worker with different capabilities.
+                send_message(
+                    wfile,
+                    {"op": "failed", "id": reply["id"], "error": repr(exc)},
+                )
+            else:
+                executed += 1
+                send_message(
+                    wfile,
+                    {
+                        "op": "result",
+                        "id": reply["id"],
+                        "tally": to_wire(tally),
+                    },
+                )
+            ack = recv_message(rfile)
+            if ack is None:
+                return executed
+    except (ConnectionError, BrokenPipeError):
+        return executed  # coordinator went away: a worker just stops
+    finally:
+        sock.close()

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.distribute import execution_context
 from repro.orchestrate.worker import CodeRef
 from repro.reliability.monte_carlo import (
     MuseMsedSimulator,
@@ -57,6 +58,8 @@ def frontier(
     jobs: int = 1,
     chunk_size: int | None = None,
     adaptive: AdaptivePolicy | None = None,
+    executor=None,
+    progress_cb=None,
 ) -> list[FrontierPoint]:
     # One run_design_points call = one shared pool for all 12 runs
     # (full + ablated per point), not a pool spin-up per design point.
@@ -77,7 +80,8 @@ def frontier(
             )
         )
     results, outcomes = run_design_points_with_outcomes(
-        simulators, trials, seed, jobs, chunk_size, adaptive=adaptive
+        simulators, trials, seed, jobs, chunk_size, progress_cb,
+        adaptive=adaptive, executor=executor, group_ns="frontier",
     )
     points = []
     for index, (extra_bits, code) in enumerate(codes):
@@ -118,6 +122,8 @@ def k_sweep(
     jobs: int = 1,
     chunk_size: int | None = None,
     adaptive: AdaptivePolicy | None = None,
+    executor=None,
+    progress_cb=None,
 ) -> list[KSweepPoint]:
     from repro.core.codes import muse_144_132
 
@@ -141,7 +147,8 @@ def k_sweep(
             )
         )
     results, outcomes = run_design_points_with_outcomes(
-        simulators, trials, seed, jobs, chunk_size, adaptive=adaptive
+        simulators, trials, seed, jobs, chunk_size, progress_cb,
+        adaptive=adaptive, executor=executor, group_ns="k-sweep",
     )
     return [
         KSweepPoint(
@@ -217,20 +224,36 @@ def main(
     adaptive: bool = False,
     ci_target: float | None = None,
     max_trials: int | None = None,
+    distribute: str | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+    progress: bool = False,
 ) -> str:
     trials = DEFAULT_TRIALS if trials is None else trials
     seed = DEFAULT_SEED if seed is None else seed
     policy = policy_from_cli(ci_target, max_trials) if adaptive else None
-    report = render(
-        frontier(
-            trials, seed, backend=backend, jobs=jobs, chunk_size=chunk_size,
-            adaptive=policy,
-        ),
-        k_sweep(
-            trials, seed, backend=backend, jobs=jobs, chunk_size=chunk_size,
-            adaptive=policy,
-        ),
-    )
+    # One session serves both studies (the group namespaces keep their
+    # fold groups and checkpoint entries apart).
+    with execution_context(
+        distribute,
+        seed=seed,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        backend=backend,
+        progress=progress,
+    ) as (executor, progress_cb):
+        report = render(
+            frontier(
+                trials, seed, backend=backend, jobs=jobs,
+                chunk_size=chunk_size, adaptive=policy, executor=executor,
+                progress_cb=progress_cb,
+            ),
+            k_sweep(
+                trials, seed, backend=backend, jobs=jobs,
+                chunk_size=chunk_size, adaptive=policy, executor=executor,
+                progress_cb=progress_cb,
+            ),
+        )
     print(report)
     return report
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.error_model import ErrorDirection, SymbolErrorModel
+from repro.distribute import execution_context
 from repro.core.search import find_multipliers
 from repro.core.symbols import SymbolLayout
 from repro.orchestrate.worker import CodeRef
@@ -88,6 +89,8 @@ def msed_sweep(
     jobs: int = 1,
     chunk_size: int | None = None,
     adaptive: AdaptivePolicy | None = None,
+    executor=None,
+    progress_cb=None,
 ) -> list[ShuffleMsedRow]:
     """Monte-Carlo MSED across the 80-bit design points, per layout.
 
@@ -113,7 +116,8 @@ def msed_sweep(
     simulators = [simulator for _, simulator in points]
     results, outcomes = run_design_points_with_outcomes(
         simulators, trials, seed, jobs=jobs, chunk_size=chunk_size,
-        adaptive=adaptive,
+        progress=progress_cb, adaptive=adaptive, executor=executor,
+        group_ns="shuffle-msed",
     )
     rows = []
     for (code, _), result, outcome in zip(points, results, outcomes):
@@ -185,15 +189,32 @@ def main(
     adaptive: bool = False,
     ci_target: float | None = None,
     max_trials: int | None = None,
+    distribute: str | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+    progress: bool = False,
 ) -> str:
-    rows = msed_sweep(
-        DEFAULT_TRIALS if trials is None else trials,
-        DEFAULT_SEED if seed is None else seed,
+    seed = DEFAULT_SEED if seed is None else seed
+    with execution_context(
+        distribute,
+        seed=seed,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
         backend=backend,
-        jobs=jobs,
-        chunk_size=chunk_size,
-        adaptive=policy_from_cli(ci_target, max_trials) if adaptive else None,
-    )
+        progress=progress,
+    ) as (executor, progress_cb):
+        rows = msed_sweep(
+            DEFAULT_TRIALS if trials is None else trials,
+            seed,
+            backend=backend,
+            jobs=jobs,
+            chunk_size=chunk_size,
+            adaptive=policy_from_cli(ci_target, max_trials)
+            if adaptive
+            else None,
+            executor=executor,
+            progress_cb=progress_cb,
+        )
     report = "\n\n".join([render(sweep()), render_msed(rows)])
     print(report)
     return report

@@ -11,6 +11,7 @@ the report shows what each cell actually spent.
 
 from __future__ import annotations
 
+from repro.distribute import execution_context
 from repro.reliability.metrics import TableIV
 from repro.reliability.monte_carlo import build_table_iv
 from repro.reliability.sampling.sequential import AdaptivePolicy, policy_from_cli
@@ -128,22 +129,43 @@ def build(
     adaptive: bool | AdaptivePolicy = False,
     ci_target: float | None = None,
     max_trials: int | None = None,
+    distribute: str | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+    progress: bool = False,
 ) -> TableIV:
-    """The table behind :func:`main` (callable for tests/benchmarks)."""
+    """The table behind :func:`main` (callable for tests/benchmarks).
+
+    ``distribute`` fans the chunk grid over a coordinator/worker
+    session (``local:N`` or ``listen:PORT``); ``checkpoint_dir`` /
+    ``resume`` journal and replay completed chunks; ``progress`` prints
+    heartbeats to stderr.  None of them changes the table.
+    """
     policy: AdaptivePolicy | None = None
     if isinstance(adaptive, AdaptivePolicy):
         policy = adaptive
     elif adaptive:
         policy = policy_from_cli(ci_target, max_trials)
-    return build_table_iv(
-        trials=DEFAULT_TRIALS if trials is None else trials,
-        seed=DEFAULT_SEED if seed is None else seed,
-        rs_device_policy=rs_device_policy,
+    seed = DEFAULT_SEED if seed is None else seed
+    with execution_context(
+        distribute,
+        seed=seed,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
         backend=backend,
-        jobs=jobs,
-        chunk_size=chunk_size,
-        adaptive=policy,
-    )
+        progress=progress,
+    ) as (executor, progress_cb):
+        return build_table_iv(
+            trials=DEFAULT_TRIALS if trials is None else trials,
+            seed=seed,
+            rs_device_policy=rs_device_policy,
+            backend=backend,
+            jobs=jobs,
+            chunk_size=chunk_size,
+            progress=progress_cb,
+            adaptive=policy,
+            executor=executor,
+        )
 
 
 def main(
@@ -156,6 +178,10 @@ def main(
     adaptive: bool | AdaptivePolicy = False,
     ci_target: float | None = None,
     max_trials: int | None = None,
+    distribute: str | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+    progress: bool = False,
 ) -> tuple[str, dict]:
     """Render the table; returns ``(report, details)`` — the sweep puts
     the details dict (per-point ``trials_used`` and intervals) into
@@ -170,6 +196,10 @@ def main(
         adaptive=adaptive,
         ci_target=ci_target,
         max_trials=max_trials,
+        distribute=distribute,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        progress=progress,
     )
     report = render(table)
     print(report)

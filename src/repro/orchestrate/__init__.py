@@ -24,6 +24,7 @@ tally of a run is **byte-identical** for every ``(chunk_size, jobs)``
 combination, including ``jobs=1`` vs ``jobs>1``.
 """
 
+from repro.orchestrate.persist import atomic_write_json, atomic_write_text
 from repro.orchestrate.plan import (
     Chunk,
     DEFAULT_CHUNK_SIZE,
@@ -45,6 +46,7 @@ from repro.orchestrate.worker import (
     CodeRef,
     MuseSimSpec,
     RsSimSpec,
+    group_labels,
     run_chunk_task,
 )
 
@@ -59,8 +61,11 @@ __all__ = [
     "ProgressCallback",
     "RsSimSpec",
     "SweepOutcome",
+    "atomic_write_json",
+    "atomic_write_text",
     "counter_draws",
     "derive_key",
+    "group_labels",
     "map_unordered",
     "mix64",
     "plan_chunk_range",

@@ -1,0 +1,53 @@
+"""Crash-safe file writes: temp file + atomic rename.
+
+A sweep summary or a checkpoint journal is only useful if it can never
+be observed half-written: a reader (or a resumed run) that loads a
+truncated JSON would crash — or worse, silently resume from garbage.
+POSIX gives the needed primitive for free: ``os.replace`` atomically
+swaps a fully-written sibling temp file into place, so any concurrent
+or subsequent reader sees either the old complete file or the new
+complete file, never a prefix.
+
+The temp file lives in the *same directory* as the target (rename is
+only atomic within a filesystem) and is fsync'd before the swap, so a
+crash between write and rename leaves the target untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` so readers never see a partial file."""
+    path = Path(path)
+    fd, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        # The target is untouched; don't leave the temp file behind.
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str | Path, payload: Any, indent: int = 2) -> None:
+    """Serialise ``payload`` first, then atomically write it.
+
+    Serialising before opening anything means even a non-JSON-able
+    payload can never disturb an existing file at ``path``.
+    """
+    text = json.dumps(payload, indent=indent) + "\n"
+    atomic_write_text(path, text)

@@ -78,12 +78,21 @@ def run_sharded(
     tasks: Iterable[ChunkTask],
     jobs: int = 1,
     progress: ProgressCallback | None = None,
+    executor: Any | None = None,
 ) -> dict[Any, Any]:
     """Run every chunk task and return ``{group: folded tally}``.
 
     Folding is plain integer addition, so the result is independent of
     completion order and of ``jobs``.
+
+    ``executor`` overrides the serial/pool paths with any object
+    exposing ``run_tasks(tasks, progress) -> {group: tally}`` under the
+    same exactly-once fold contract — in practice a
+    :class:`repro.distribute.DistributedSession`, which fans the tasks
+    over remote worker processes instead of a local pool.
     """
+    if executor is not None:
+        return executor.run_tasks(list(tasks), progress)
     results: dict[Any, Any] = {}
     map_unordered(
         run_chunk_task,

@@ -17,12 +17,12 @@ from __future__ import annotations
 import contextlib
 import importlib
 import io
-import json
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro.orchestrate.persist import atomic_write_json, atomic_write_text
 from repro.orchestrate.pool import ProgressCallback, map_unordered
 
 #: Every CLI experiment, in presentation order: name -> "module:main".
@@ -113,7 +113,7 @@ def run_experiment_task(task: ExperimentTask) -> SweepOutcome:
 def _write_report(directory: Path, outcome: SweepOutcome) -> None:
     """Persist one report the moment it exists, so a mid-sweep failure
     never discards experiments that already completed."""
-    (directory / f"{outcome.name}.txt").write_text(outcome.report + "\n")
+    atomic_write_text(directory / f"{outcome.name}.txt", outcome.report + "\n")
 
 
 def _write_summary(
@@ -142,7 +142,10 @@ def _write_summary(
         sum(outcome.seconds for outcome in outcomes.values()), 4
     )
     summary["wall_seconds"] = round(wall_seconds, 4)
-    (directory / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
+    # Atomic temp-file + rename: a sweep killed mid-write can never
+    # leave a truncated summary.json for a reader (or a dashboard
+    # polling the results dir) to trip over.
+    atomic_write_json(directory / "summary.json", summary)
 
 
 def run_all(

@@ -130,6 +130,18 @@ class RsSimSpec:
         )
 
 
+def group_labels(count: int, group_ns: "str | None") -> list:
+    """Fold-group labels for a design-point grid.
+
+    Bare indices by default; ``group_ns`` prefixes them
+    (``"frontier:3"``) so two different grids sharing one distributed
+    session — or one checkpoint journal — can never collide.
+    """
+    if group_ns is None:
+        return list(range(count))
+    return [f"{group_ns}:{index}" for index in range(count)]
+
+
 @dataclass(frozen=True)
 class ChunkTask:
     """One shard: run ``spec``'s chunk ``chunk`` of stream ``key``.

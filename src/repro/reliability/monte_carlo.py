@@ -50,6 +50,7 @@ from repro.orchestrate.worker import (
     MuseSimSpec,
     RsSimSpec,
     checked_code_ref,
+    group_labels,
     muse_signature,
     rs_signature,
 )
@@ -76,12 +77,13 @@ def _streamed_run(
     jobs: int,
     chunk_size: int | None,
     progress: ProgressCallback | None,
+    executor=None,
 ) -> MsedResult:
     """One simulator's run is the single-point case of the shared
     design-point grid runner — one skeleton, never two to keep in sync.
     """
     return run_design_points(
-        [simulator], trials, seed, jobs, chunk_size, progress
+        [simulator], trials, seed, jobs, chunk_size, progress, executor
     )[0]
 
 
@@ -92,10 +94,11 @@ def _adaptive_run(
     jobs: int,
     chunk_size: int | None,
     progress: ProgressCallback | None,
+    executor=None,
 ) -> AdaptiveOutcome:
     """Shared ``run_adaptive`` body of both simulator classes."""
     runner = AdaptiveRunner(policy if policy is not None else AdaptivePolicy())
-    return runner.run_one(simulator, seed, jobs, chunk_size, progress)
+    return runner.run_one(simulator, seed, jobs, chunk_size, progress, executor)
 
 
 @dataclass
@@ -135,8 +138,11 @@ class MuseMsedSimulator:
         jobs: int = 1,
         chunk_size: int | None = None,
         progress: ProgressCallback | None = None,
+        executor=None,
     ) -> MsedResult:
-        return _streamed_run(self, trials, seed, jobs, chunk_size, progress)
+        return _streamed_run(
+            self, trials, seed, jobs, chunk_size, progress, executor
+        )
 
     def run_adaptive(
         self,
@@ -146,6 +152,7 @@ class MuseMsedSimulator:
         jobs: int = 1,
         chunk_size: int | None = None,
         progress: ProgressCallback | None = None,
+        executor=None,
     ) -> AdaptiveOutcome:
         """Grow this simulator's trial stream until ``policy`` is met.
 
@@ -153,7 +160,9 @@ class MuseMsedSimulator:
         the fixed-trial stream at the same seed (see
         :mod:`repro.reliability.sampling.sequential`).
         """
-        return _adaptive_run(self, policy, seed, jobs, chunk_size, progress)
+        return _adaptive_run(
+            self, policy, seed, jobs, chunk_size, progress, executor
+        )
 
     def run_chunk(self, chunk: Chunk, key: int) -> MsedTally:
         """Classify one chunk of the stream keyed by ``key``.
@@ -265,8 +274,11 @@ class RsMsedSimulator:
         jobs: int = 1,
         chunk_size: int | None = None,
         progress: ProgressCallback | None = None,
+        executor=None,
     ) -> MsedResult:
-        return _streamed_run(self, trials, seed, jobs, chunk_size, progress)
+        return _streamed_run(
+            self, trials, seed, jobs, chunk_size, progress, executor
+        )
 
     def run_adaptive(
         self,
@@ -276,9 +288,12 @@ class RsMsedSimulator:
         jobs: int = 1,
         chunk_size: int | None = None,
         progress: ProgressCallback | None = None,
+        executor=None,
     ) -> AdaptiveOutcome:
         """Grow this simulator's trial stream until ``policy`` is met."""
-        return _adaptive_run(self, policy, seed, jobs, chunk_size, progress)
+        return _adaptive_run(
+            self, policy, seed, jobs, chunk_size, progress, executor
+        )
 
     def run_chunk(self, chunk: Chunk, key: int) -> MsedTally:
         """Classify one chunk of the stream keyed by ``key``."""
@@ -429,32 +444,36 @@ def run_design_points(
     jobs: int = 1,
     chunk_size: int | None = None,
     progress: ProgressCallback | None = None,
+    executor=None,
+    group_ns: str | None = None,
 ) -> list[MsedResult]:
     """Run every simulator over the same chunk plan and master seed.
 
     ``jobs > 1`` fans the full design-points x chunks grid over **one**
     process pool (no per-point barriers, one worker spin-up for the
     whole grid); ``jobs = 1`` streams the same chunks in process.
-    Either way each point's tally is the identical fold of identical
-    chunk tallies, so results are positionally aligned with
-    ``simulators`` and independent of ``jobs``/``chunk_size``.
+    ``executor`` (a :class:`repro.distribute.DistributedSession`)
+    replaces the pool with remote workers pulling from the
+    coordinator's queue.  Every path folds the identical chunk tallies,
+    so results are positionally aligned with ``simulators`` and
+    independent of ``jobs``/``chunk_size``/transport.
     """
     chunks = plan_chunks(trials, chunk_size)
     key = derive_key(seed)
-    if jobs > 1:
+    if jobs > 1 or executor is not None:
         # One spec per simulator, hoisted out of the chunk loop: each
         # _task_spec() rebuilds the code for its consistency check, and
         # a large run has thousands of chunks per point.
         specs = [simulator._task_spec() for simulator in simulators]
+        groups = group_labels(len(simulators), group_ns)
         tasks = [
-            ChunkTask(index, spec, chunk, key)
+            ChunkTask(groups[index], spec, chunk, key)
             for index, spec in enumerate(specs)
             for chunk in chunks
         ]
-        folded = run_sharded(tasks, jobs, progress)
+        folded = run_sharded(tasks, jobs, progress, executor)
         return [
-            folded.get(index, MsedTally()).freeze()
-            for index in range(len(simulators))
+            folded.get(group, MsedTally()).freeze() for group in groups
         ]
     results = []
     total = len(simulators) * len(chunks)
@@ -477,6 +496,8 @@ def run_design_points_adaptive(
     jobs: int = 1,
     chunk_size: int | None = None,
     progress: ProgressCallback | None = None,
+    executor=None,
+    group_ns: str | None = None,
 ) -> list[AdaptiveOutcome]:
     """Adaptive sibling of :func:`run_design_points`.
 
@@ -488,7 +509,9 @@ def run_design_points_adaptive(
     fixed-budget runner, independent of ``jobs``/``chunk_size``/backend
     at a fixed seed (including each point's ``trials_used``).
     """
-    return AdaptiveRunner(policy).run(simulators, seed, jobs, chunk_size, progress)
+    return AdaptiveRunner(policy).run(
+        simulators, seed, jobs, chunk_size, progress, executor, group_ns
+    )
 
 
 def run_design_points_with_outcomes(
@@ -499,6 +522,8 @@ def run_design_points_with_outcomes(
     chunk_size: int | None = None,
     progress: ProgressCallback | None = None,
     adaptive: AdaptivePolicy | None = None,
+    executor=None,
+    group_ns: str | None = None,
 ) -> "tuple[list[MsedResult], list[AdaptiveOutcome | None]]":
     """The one fixed-vs-adaptive dispatch every experiment shares.
 
@@ -509,11 +534,13 @@ def run_design_points_with_outcomes(
     """
     if adaptive is not None:
         outcomes = run_design_points_adaptive(
-            simulators, adaptive, seed, jobs, chunk_size, progress
+            simulators, adaptive, seed, jobs, chunk_size, progress, executor,
+            group_ns,
         )
         return [outcome.result for outcome in outcomes], list(outcomes)
     results = run_design_points(
-        simulators, trials, seed, jobs, chunk_size, progress
+        simulators, trials, seed, jobs, chunk_size, progress, executor,
+        group_ns,
     )
     return results, [None] * len(results)
 
@@ -528,14 +555,17 @@ def build_table_iv(
     chunk_size: int | None = None,
     progress: ProgressCallback | None = None,
     adaptive: AdaptivePolicy | None = None,
+    executor=None,
 ) -> TableIV:
     """Run every design point and assemble the paper's Table IV.
 
     ``backend`` selects the decode engine for *both* families (MUSE and
     RS batch engines); ``jobs`` fans design points x chunks over a
-    process pool and ``chunk_size`` bounds per-chunk memory.  None of
-    the three changes the tallies of a fixed ``(trials, seed)`` table —
-    one flag set accelerates the whole table without altering it.
+    process pool, ``chunk_size`` bounds per-chunk memory, and
+    ``executor`` ships the same chunk grid to distributed workers
+    (:class:`repro.distribute.DistributedSession`).  None of them
+    changes the tallies of a fixed ``(trials, seed)`` table — one flag
+    set accelerates the whole table without altering it.
 
     With ``adaptive`` set, ``trials`` is ignored: each design point
     runs until its policy interval converges or ``policy.max_trials``
@@ -569,7 +599,8 @@ def build_table_iv(
         entries.append(("RS", extra_bits, code))
 
     results, outcomes = run_design_points_with_outcomes(
-        simulators, trials, seed, jobs, chunk_size, progress, adaptive
+        simulators, trials, seed, jobs, chunk_size, progress, adaptive,
+        executor,
     )
 
     table = TableIV()

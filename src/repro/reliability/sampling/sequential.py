@@ -38,7 +38,7 @@ from typing import Iterator, Sequence
 from repro.orchestrate.plan import plan_chunk_range
 from repro.orchestrate.pool import ProgressCallback, run_sharded
 from repro.orchestrate.rng import derive_key
-from repro.orchestrate.worker import ChunkTask
+from repro.orchestrate.worker import ChunkTask, group_labels
 from repro.reliability.metrics import METRICS, MsedResult, MsedTally
 from repro.reliability.sampling.intervals import INTERVAL_KINDS, Interval
 
@@ -176,6 +176,8 @@ class AdaptiveRunner:
         jobs: int = 1,
         chunk_size: int | None = None,
         progress: ProgressCallback | None = None,
+        executor=None,
+        group_ns: str | None = None,
     ) -> list[AdaptiveOutcome]:
         policy = self.policy
         key = derive_key(seed)
@@ -184,19 +186,25 @@ class AdaptiveRunner:
         rounds = [0] * count
         converged = [False] * count
         active = list(range(count))
+        sharded = jobs > 1 or executor is not None
         # One spec per simulator, hoisted out of the round loop (each
         # _task_spec() rebuilds its code for the consistency check).
         specs = (
             [simulator._task_spec() for simulator in simulators]
-            if jobs > 1
+            if sharded
             else None
         )
+        groups = group_labels(count, group_ns)
         done_chunks = 0
         previous = 0
         for target in policy.schedule():
             chunks = plan_chunk_range(previous, target, chunk_size)
             previous = target
-            if jobs > 1:
+            if sharded:
+                # With a distributed executor each round is one batch:
+                # run_tasks is the round barrier, so the coordinator —
+                # this process — holds the only copy of the folded
+                # tallies and alone decides stop/continue per look.
                 scheduled = done_chunks + len(active) * len(chunks)
 
                 def tick(done: int, total: int, base: int = done_chunks) -> None:
@@ -204,13 +212,15 @@ class AdaptiveRunner:
                         progress(base + done, scheduled)
 
                 tasks = [
-                    ChunkTask(index, specs[index], chunk, key)
+                    ChunkTask(groups[index], specs[index], chunk, key)
                     for index in active
                     for chunk in chunks
                 ]
-                folded = run_sharded(tasks, jobs, tick)
+                folded = run_sharded(tasks, jobs, tick, executor)
                 for index in active:
-                    tallies[index].merge(folded.get(index, MsedTally()))
+                    tallies[index].merge(
+                        folded.get(groups[index], MsedTally())
+                    )
                 done_chunks = scheduled
             else:
                 scheduled = done_chunks + len(active) * len(chunks)
@@ -249,9 +259,13 @@ class AdaptiveRunner:
         jobs: int = 1,
         chunk_size: int | None = None,
         progress: ProgressCallback | None = None,
+        executor=None,
+        group_ns: str | None = None,
     ) -> AdaptiveOutcome:
         """Single-simulator convenience wrapper over :meth:`run`."""
-        return self.run([simulator], seed, jobs, chunk_size, progress)[0]
+        return self.run(
+            [simulator], seed, jobs, chunk_size, progress, executor, group_ns
+        )[0]
 
 
 def policy_from_cli(

@@ -1,0 +1,143 @@
+"""Checkpoint journal: atomic persistence, resume gating, fingerprints."""
+
+import json
+
+import pytest
+
+from repro.distribute.checkpoint import (
+    JOURNAL_NAME,
+    CheckpointJournal,
+    spec_fingerprint,
+)
+from repro.orchestrate.plan import Chunk
+from repro.orchestrate.worker import CodeRef, MuseSimSpec
+from repro.reliability.metrics import MsedTally
+
+KEY = 0xDEAD_BEEF
+FP = "spec"
+
+
+def tally(**counts) -> MsedTally:
+    t = MsedTally()
+    t.record_counts(**counts)
+    return t
+
+
+class TestRoundTrip:
+    def test_record_then_reopen_replays_entries(self, tmp_path):
+        journal = CheckpointJournal.open(tmp_path, KEY)
+        journal.record(0, Chunk(0, 64), tally(miscorrected=3, silent=1), FP)
+        journal.record(0, Chunk(64, 64), tally(detected_no_match=64), FP)
+        journal.record("k-sweep:1", Chunk(0, 64), tally(silent=2), FP)
+
+        reopened = CheckpointJournal.open(tmp_path, KEY, resume=True)
+        assert len(reopened) == 3
+        replay = reopened.lookup(0, Chunk(0, 64), FP)
+        assert replay == MsedTally(
+            trials=4, detected_no_match=0, detected_confinement=0,
+            miscorrected=3, silent=1,
+        )
+        assert reopened.lookup("k-sweep:1", Chunk(0, 64), FP).silent == 2
+        assert reopened.lookup(0, Chunk(128, 64), FP) is None  # not done
+
+    def test_lookup_returns_a_copy(self, tmp_path):
+        journal = CheckpointJournal.open(tmp_path, KEY)
+        journal.record(0, Chunk(0, 8), tally(silent=1), FP)
+        journal.lookup(0, Chunk(0, 8), FP).record_silent()  # mutate copy
+        assert journal.lookup(0, Chunk(0, 8), FP).trials == 1
+
+    def test_mismatched_chunk_size_misses(self, tmp_path):
+        """A resumed run with a different chunking recomputes (correct,
+        just unsaved) instead of mis-folding partial ranges."""
+        journal = CheckpointJournal.open(tmp_path, KEY)
+        journal.record(0, Chunk(0, 64), tally(silent=1), FP)
+        assert journal.lookup(0, Chunk(0, 100), FP) is None
+
+
+class TestGating:
+    def test_fresh_run_refuses_existing_journal(self, tmp_path):
+        CheckpointJournal.open(tmp_path, KEY).record(
+            0, Chunk(0, 1), tally(silent=1), FP
+        )
+        with pytest.raises(FileExistsError, match="--resume"):
+            CheckpointJournal.open(tmp_path, KEY)
+
+    def test_resume_with_no_journal_starts_empty(self, tmp_path):
+        journal = CheckpointJournal.open(tmp_path, KEY, resume=True)
+        assert len(journal) == 0
+
+    def test_key_mismatch_refused(self, tmp_path):
+        CheckpointJournal.open(tmp_path, KEY).record(
+            0, Chunk(0, 1), tally(silent=1), FP
+        )
+        with pytest.raises(ValueError, match="stream key"):
+            CheckpointJournal.open(tmp_path, KEY + 1, resume=True)
+
+    def test_version_mismatch_refused(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        path.write_text(json.dumps({"version": 99, "key": KEY, "groups": {}}))
+        with pytest.raises(ValueError, match="version"):
+            CheckpointJournal.open(tmp_path, KEY, resume=True)
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        journal = CheckpointJournal.open(tmp_path, KEY)
+        journal.record(0, Chunk(0, 8), tally(silent=1), "config-a")
+        with pytest.raises(ValueError, match="different simulator"):
+            journal.lookup(0, Chunk(0, 8), "config-b")
+        reopened = CheckpointJournal.open(tmp_path, KEY, resume=True)
+        with pytest.raises(ValueError, match="different simulator"):
+            reopened.lookup(0, Chunk(0, 8), "config-b")
+
+
+class TestSpecFingerprint:
+    def test_backend_excluded(self):
+        """Scalar and numpy tally byte-identically, so a checkpoint
+        taken on one backend must resume on the other."""
+        ref = CodeRef("repro.core.codes:muse_80_69")
+        scalar = MuseSimSpec(code=ref, backend="scalar")
+        numpy = MuseSimSpec(code=ref, backend="numpy")
+        assert spec_fingerprint(scalar) == spec_fingerprint(numpy)
+
+    def test_config_changes_included(self):
+        ref = CodeRef("repro.core.codes:muse_80_69")
+        assert spec_fingerprint(
+            MuseSimSpec(code=ref, k_symbols=2)
+        ) != spec_fingerprint(MuseSimSpec(code=ref, k_symbols=3))
+        assert spec_fingerprint(
+            MuseSimSpec(code=ref, ripple_check=True)
+        ) != spec_fingerprint(MuseSimSpec(code=ref, ripple_check=False))
+
+
+class TestDurability:
+    def test_saved_file_is_always_complete_json(self, tmp_path):
+        """Every on-disk state parses: the journal is never observable
+        mid-write (atomic rename)."""
+        journal = CheckpointJournal.open(tmp_path, KEY)
+        for index in range(10):
+            journal.record(
+                index % 2, Chunk(index * 8, 8), tally(silent=index), FP
+            )
+            payload = json.loads(journal.path.read_text())
+            assert payload["version"] == 1
+            total = sum(
+                len(group["chunks"]) for group in payload["groups"].values()
+            )
+            assert total == index + 1
+
+    def test_folded_summary_matches_chunk_sum(self, tmp_path):
+        journal = CheckpointJournal.open(tmp_path, KEY)
+        journal.record(0, Chunk(0, 8), tally(silent=3), FP)
+        journal.record(0, Chunk(8, 8), tally(miscorrected=2), FP)
+        payload = json.loads(journal.path.read_text())
+        folded = payload["groups"]["0"]["folded"]
+        assert folded["trials"] == 5
+        assert folded["silent"] == 3
+        assert folded["miscorrected"] == 2
+
+    def test_save_every_batches_rewrites(self, tmp_path):
+        journal = CheckpointJournal.open(tmp_path, KEY, save_every=3)
+        journal.record(0, Chunk(0, 8), tally(silent=1), FP)
+        journal.record(0, Chunk(8, 8), tally(silent=1), FP)
+        assert not journal.path.exists()  # below the batch threshold
+        journal.record(0, Chunk(16, 8), tally(silent=1), FP)
+        assert journal.path.exists()

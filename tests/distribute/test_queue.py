@@ -1,0 +1,93 @@
+"""Work-stealing lease queue: exactly-once folds under loss and theft."""
+
+from repro.distribute.queue import ChunkQueue
+
+
+def make_queue(n_tasks: int = 3, lease_timeout: float = 10.0) -> ChunkQueue:
+    queue = ChunkQueue(lease_timeout=lease_timeout)
+    for index in range(n_tasks):
+        queue.add_task(f"task-{index}")
+    return queue
+
+
+class TestLeasing:
+    def test_claim_hands_out_tasks_in_order(self):
+        queue = make_queue(2)
+        assert queue.claim("w1", now=0.0) == (0, "task-0")
+        assert queue.claim("w2", now=0.0) == (1, "task-1")
+        assert queue.claim("w1", now=0.0) is None  # all leased out
+
+    def test_complete_is_exactly_once(self):
+        queue = make_queue(1)
+        task_id, _ = queue.claim("w1", now=0.0)
+        assert queue.complete(task_id) is True
+        assert queue.complete(task_id) is False  # duplicate dropped
+        assert queue.done
+
+    def test_unknown_completion_rejected(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            make_queue(1).complete(99)
+
+
+class TestWorkerDeath:
+    def test_release_worker_requeues_its_leases(self):
+        queue = make_queue(3)
+        queue.claim("dead", now=0.0)
+        queue.claim("dead", now=0.0)
+        queue.claim("alive", now=0.0)
+        assert queue.release_worker("dead") == 2
+        # The survivor can steal both re-queued tasks.
+        assert queue.claim("alive", now=1.0) is not None
+        assert queue.claim("alive", now=1.0) is not None
+        assert queue.claim("alive", now=1.0) is None
+        assert queue.requeues == 2
+
+    def test_release_unknown_worker_is_noop(self):
+        queue = make_queue(1)
+        assert queue.release_worker("ghost") == 0
+
+
+class TestStragglers:
+    def test_reap_expired_steals_old_leases(self):
+        queue = make_queue(2, lease_timeout=5.0)
+        queue.claim("slow", now=0.0)  # deadline 5.0
+        queue.claim("fast", now=3.0)  # deadline 8.0
+        assert queue.reap_expired(now=6.0) == 1  # only the slow lease
+        stolen = queue.claim("fast", now=6.0)
+        assert stolen == (0, "task-0")
+
+    def test_duplicate_after_steal_folds_once(self):
+        """The slow worker finishes after its lease was stolen and the
+        thief also finishes: exactly one completion counts."""
+        queue = make_queue(1, lease_timeout=1.0)
+        task_id, _ = queue.claim("slow", now=0.0)
+        queue.reap_expired(now=2.0)
+        thief_id, _ = queue.claim("thief", now=2.0)
+        assert thief_id == task_id
+        assert queue.complete(task_id) is True  # slow arrives first
+        assert queue.complete(thief_id) is False  # thief's copy dropped
+        assert queue.outstanding == 0
+
+    def test_completed_task_never_reclaimed_from_pending(self):
+        """A stolen-then-completed task sitting in pending is skipped."""
+        queue = make_queue(2, lease_timeout=1.0)
+        task_id, _ = queue.claim("slow", now=0.0)
+        queue.reap_expired(now=2.0)  # task_id back in pending
+        assert queue.complete(task_id) is True  # original result lands
+        claim = queue.claim("w2", now=2.0)
+        assert claim is not None and claim[0] != task_id
+
+    def test_requeue_puts_failed_task_back(self):
+        queue = make_queue(1)
+        task_id, _ = queue.claim("w1", now=0.0)
+        queue.requeue(task_id)
+        assert queue.claim("w2", now=0.0) == (task_id, "task-0")
+
+    def test_requeue_of_completed_task_is_noop(self):
+        queue = make_queue(1)
+        task_id, _ = queue.claim("w1", now=0.0)
+        queue.complete(task_id)
+        queue.requeue(task_id)
+        assert queue.claim("w2", now=0.0) is None

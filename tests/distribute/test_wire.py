@@ -1,0 +1,108 @@
+"""Wire codec: registered dataclasses round-trip structurally equal."""
+
+import io
+import json
+
+import pytest
+
+from repro.distribute.wire import (
+    from_wire,
+    recv_message,
+    register_wire_type,
+    send_message,
+    to_wire,
+)
+from repro.orchestrate.plan import Chunk
+from repro.orchestrate.worker import ChunkTask, CodeRef, MuseSimSpec, RsSimSpec
+from repro.reliability.metrics import MsedTally
+
+
+class TestCodec:
+    def test_chunk_task_round_trip_is_equal(self):
+        task = ChunkTask(
+            group="frontier:3",
+            spec=MuseSimSpec(
+                code=CodeRef("repro.core.codes:muse_80_69"),
+                ripple_check=False,
+                backend="scalar",
+            ),
+            chunk=Chunk(128, 64),
+            key=0x1234_5678_9ABC_DEF0,
+        )
+        decoded = from_wire(to_wire(task))
+        assert decoded == task  # structural equality: runner cache hits
+
+    def test_code_ref_args_stay_tuples(self):
+        ref = CodeRef("repro.reliability.monte_carlo:muse_design_point", (3,))
+        decoded = from_wire(to_wire(ref))
+        assert decoded == ref
+        assert isinstance(decoded.args, tuple)
+
+    def test_rs_spec_round_trip(self):
+        spec = RsSimSpec(
+            code=CodeRef("repro.rs.reed_solomon:rs_144_128"),
+            device_bits=None,
+        )
+        assert from_wire(to_wire(spec)) == spec
+
+    def test_tally_round_trip(self):
+        tally = MsedTally(
+            trials=100,
+            detected_no_match=40,
+            detected_confinement=30,
+            miscorrected=20,
+            silent=10,
+        )
+        assert from_wire(to_wire(tally)) == tally
+
+    def test_payload_is_plain_json(self):
+        task = ChunkTask(
+            group=0,
+            spec=MuseSimSpec(code=CodeRef("repro.core.codes:muse_80_69")),
+            chunk=Chunk(0, 10),
+            key=1,
+        )
+        json.dumps(to_wire(task))  # no pickle, no custom encoder
+
+    def test_unregistered_dataclass_rejected(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class NotRegistered:
+            x: int = 1
+
+        with pytest.raises(TypeError, match="not wire-registered"):
+            to_wire(NotRegistered())
+
+    def test_unknown_wire_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown wire type"):
+            from_wire({"__type__": "Bogus"})
+
+    def test_register_admits_new_spec_types(self):
+        from dataclasses import dataclass
+
+        @register_wire_type
+        @dataclass(frozen=True)
+        class ExtensionSpec:
+            m: int = 0
+
+        assert from_wire(to_wire(ExtensionSpec(m=7))) == ExtensionSpec(m=7)
+
+    def test_non_dataclass_registration_rejected(self):
+        with pytest.raises(TypeError, match="dataclass"):
+            register_wire_type(int)
+
+
+class TestFraming:
+    def test_messages_round_trip_over_a_stream(self):
+        buffer = io.BytesIO()
+        send_message(buffer, {"op": "task", "id": 3, "task": {"a": [1, 2]}})
+        send_message(buffer, {"op": "ok"})
+        buffer.seek(0)
+        assert recv_message(buffer) == {
+            "op": "task",
+            "id": 3,
+            "task": {"a": [1, 2]},
+        }
+        assert recv_message(buffer) == {"op": "ok"}
+        assert recv_message(buffer) is None  # clean EOF

@@ -1,0 +1,99 @@
+"""Atomic writes: a partially-written file is never observed.
+
+Satellite regression for the crash-safety fix: ``summary.json`` (and
+the checkpoint journal) go through temp-file + ``os.replace``, so a
+killed process leaves either the old complete file or the new complete
+file — never a truncated prefix.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.orchestrate.persist import atomic_write_json, atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_writes_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "hello\n")
+        assert target.read_text() == "hello\n"
+
+    def test_replaces_existing_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_crash_before_rename_leaves_target_untouched(
+        self, tmp_path, monkeypatch
+    ):
+        """Simulate dying between temp-file write and rename: the old
+        file survives complete, and no temp litter remains."""
+        target = tmp_path / "out.txt"
+        target.write_text("old complete content")
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash at rename time")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            atomic_write_text(target, "half-written replacement")
+        assert target.read_text() == "old complete content"
+        assert list(tmp_path.iterdir()) == [target]  # temp cleaned up
+
+    def test_temp_file_lives_in_target_directory(self, tmp_path, monkeypatch):
+        """Rename is only atomic within a filesystem, so the temp file
+        must be a sibling of the target, never /tmp."""
+        seen = {}
+        real_replace = os.replace
+
+        def spying_replace(src, dst):
+            seen["src"] = src
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spying_replace)
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "x")
+        assert os.path.dirname(seen["src"]) == str(tmp_path)
+
+
+class TestAtomicWriteJson:
+    def test_round_trips(self, tmp_path):
+        target = tmp_path / "summary.json"
+        atomic_write_json(target, {"jobs": 2, "points": [1, 2]})
+        assert json.loads(target.read_text()) == {"jobs": 2, "points": [1, 2]}
+
+    def test_unserialisable_payload_never_touches_target(self, tmp_path):
+        """Serialisation happens before any file IO: a bad payload
+        cannot even transiently disturb the existing file."""
+        target = tmp_path / "summary.json"
+        target.write_text('{"ok": true}')
+        with pytest.raises(TypeError):
+            atomic_write_json(target, {"bad": object()})
+        assert json.loads(target.read_text()) == {"ok": True}
+        assert list(tmp_path.iterdir()) == [target]
+
+
+class TestSweepUsesAtomicWrites:
+    def test_summary_written_via_atomic_rename(self, tmp_path, monkeypatch):
+        """The sweep's summary.json goes through os.replace, not a
+        direct open-and-write (the regression this satellite fixes)."""
+        from repro.orchestrate.sweep import ExperimentTask, run_all
+
+        renames = []
+        real_replace = os.replace
+
+        def spying_replace(src, dst):
+            renames.append(str(dst))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spying_replace)
+        run_all(
+            [ExperimentTask.make("table3", {})],
+            jobs=1,
+            results_dir=tmp_path / "out",
+        )
+        assert str(tmp_path / "out" / "summary.json") in renames
+        assert str(tmp_path / "out" / "table3.txt") in renames

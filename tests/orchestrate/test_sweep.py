@@ -22,7 +22,11 @@ class TestExperimentTask:
     def test_registry_covers_every_cli_experiment(self):
         from repro.cli import build_parser
 
-        choices = set(build_parser()._actions[1].choices) - {"all"}
+        # 'all' is the sweep itself; 'coordinator'/'worker' are the two
+        # halves of a distributed run, not experiments.
+        choices = set(build_parser()._actions[1].choices) - {
+            "all", "coordinator", "worker",
+        }
         assert set(EXPERIMENT_TARGETS) == choices
 
     def test_unknown_experiment_rejected(self):
