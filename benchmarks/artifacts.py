@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark JSON artifacts.
+
+Several bench files contribute columns to the same artifact (most
+importantly ``BENCH_table4.json``, which carries one timing column per
+backend), and pytest runs them in file order — so every writer must
+**merge** into the file rather than overwrite it, or whichever file
+runs last wins.  :func:`merge_artifact` is that read-merge-write; it
+tolerates a missing or corrupt file so a fresh checkout and a partial
+rerun both work.
+
+:func:`time_table_iv` is the shared end-to-end measurement used by the
+per-backend table4 benches: one full ``build_table_iv`` pass at the
+given trial count on the given backend, returning (seconds, table).
+Callers are expected to have warmed the backend first (engine caches,
+JIT compilation) so the number is steady-state throughput.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+
+def merge_artifact(path: Path, updates: dict) -> dict:
+    """Merge ``updates`` into the JSON artifact at ``path``.
+
+    Top-level keys in ``updates`` replace existing ones; everything
+    else in the file is preserved.  Returns the merged document.
+    """
+    merged: dict = {}
+    try:
+        existing = json.loads(path.read_text())
+        if isinstance(existing, dict):
+            merged.update(existing)
+    except (OSError, ValueError):
+        pass
+    merged.update(updates)
+    path.write_text(json.dumps(merged, indent=2) + "\n")
+    return merged
+
+
+def time_table_iv(backend: str, trials: int, seed: int) -> tuple[float, object]:
+    """One timed end-to-end Table-IV build on ``backend``."""
+    from repro.reliability.monte_carlo import build_table_iv
+
+    start = time.perf_counter()
+    table = build_table_iv(trials=trials, seed=seed, backend=backend)
+    return time.perf_counter() - start, table

@@ -1,0 +1,86 @@
+"""Bench: the numba JIT backend end-to-end on Table IV.
+
+The JIT half of the native-speed-decode acceptance bar:
+
+* a full ``build_table_iv`` at 100k trials on ``backend="numba"`` is
+  byte-identical to the numpy run (the fused chunk kernels replay the
+  exact corruption stream) and **>= 5x faster**;
+* JIT compile time is excluded: every engine is warmed (compiled)
+  before the timed pass, and a cache-hit check pins that the warmed
+  engines are the ones the timed run uses;
+* the timings merge into ``benchmarks/BENCH_table4.json`` as
+  ``numba_*`` columns next to the scalar/numpy ones.
+
+Skips cleanly when numba is not installed — the no-numba CI leg and
+local dev both stay green; the numba CI leg runs it for real.
+"""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from artifacts import merge_artifact, time_table_iv
+from repro.engine import available_backends, numpy_available
+
+HAVE_NUMBA = numpy_available() and "numba" in available_backends()
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMBA, reason="numba backend unavailable"
+)
+
+ARTIFACT = Path(__file__).parent / "BENCH_table4.json"
+
+TRIALS = 100_000
+SEED = 2022
+
+
+def test_numba_table_iv_endtoend_speedup():
+    """Full table4 at 100k trials: numba >= 5x numpy, identical points."""
+    from repro.reliability.monte_carlo import build_table_iv
+
+    # Warm both backends: resolves design points, builds engine caches,
+    # and (numba) compiles every kernel — none of that is throughput.
+    build_table_iv(trials=200, seed=SEED, backend="numpy")
+    build_table_iv(trials=200, seed=SEED, backend="numba")
+
+    numba_seconds, jit_table = time_table_iv("numba", TRIALS, SEED)
+    numpy_seconds, ref_table = time_table_iv("numpy", TRIALS, SEED)
+
+    assert [p.result for p in jit_table.points] == [
+        p.result for p in ref_table.points
+    ], "numba tallies diverged from numpy"
+
+    speedup = numpy_seconds / numba_seconds
+    assert speedup >= 5.0, (
+        f"numba backend only {speedup:.1f}x numpy on table4 "
+        f"({numpy_seconds:.3f}s vs {numba_seconds:.3f}s at {TRIALS} trials)"
+    )
+
+    merge_artifact(
+        ARTIFACT,
+        {
+            "endtoend_trials": TRIALS,
+            "numpy_endtoend_seconds": round(numpy_seconds, 4),
+            "numba_seconds": round(numba_seconds, 4),
+            "numba_speedup_vs_numpy": round(speedup, 2),
+        },
+    )
+
+
+def test_numba_engine_cache_survives_warmup():
+    """The warmed (compiled) engine is the one later chunks reuse —
+    a rebuild per chunk would silently re-pay compilation."""
+    from repro.core.codes import muse_144_132
+    from repro.engine import get_engine
+
+    code = muse_144_132()
+    warmed = get_engine(code, "numba")
+    warmed.warmup()
+    assert get_engine(code, "numba") is warmed
+
+    start = time.perf_counter()
+    again = get_engine(code, "numba")
+    lookup_seconds = time.perf_counter() - start
+    assert again is warmed
+    assert lookup_seconds < 0.01, "engine cache lookup should be instant"

@@ -22,6 +22,7 @@ import argparse
 import os
 import sys
 
+from repro.engine import registered_backends
 from repro.experiments import (
     ablation_frontier,
     ablation_shuffle,
@@ -159,12 +160,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="small trial counts and traces for a fast preview",
     )
     parser.add_argument(
-        "--backend", choices=["auto", "scalar", "numpy"], default="auto",
+        "--backend",
+        choices=["auto", *registered_backends()],
+        default="auto",
         help=(
-            "decode engine for the Monte-Carlo experiments: 'numpy' "
-            "vectorises batches of codewords, 'scalar' is the big-int "
-            "reference path, 'auto' picks numpy when available "
-            "(table4, ablations, extension-double-device)"
+            "decode engine for the Monte-Carlo experiments: choices "
+            "come from the backend registry ('scalar' is the big-int "
+            "reference path, 'numpy' vectorises batches, 'native'/"
+            "'numba' run compiled fused kernels); 'auto' picks the "
+            "fastest backend available on this host (table4, "
+            "ablations, extension-double-device; also the worker "
+            "subcommand's engine override)"
         ),
     )
     parser.add_argument(
@@ -508,7 +514,17 @@ def _run_worker(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return run(args)
+    from repro.engine import BackendUnavailableError
+
+    try:
+        return run(args)
+    except BackendUnavailableError as exc:
+        # Registered-but-unavailable backends stay listed in --backend
+        # choices (the registry is host-independent); an explicit
+        # request for one fails here with the availability story
+        # instead of a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,0 +1,59 @@
+"""numba shim: the JIT kernels run pure-Python when numba is absent.
+
+The numba backends (:mod:`repro.engine.numba_backend`,
+:mod:`repro.rs.engine_numba`) are written as ``@njit(...)`` functions
+over typed numpy arrays.  When numba is installed they compile to
+native code; when it is not, this module substitutes a transparent
+fallback so the *same* kernel source runs as ordinary Python — which is
+what lets the byte-identical-tally parity suites pin the kernel logic
+on hosts without numba, while CI's numba leg exercises the compiled
+form of the exact same functions.
+
+The fallback ``njit`` wraps the function in ``np.errstate(over=
+"ignore")`` because the kernels rely on uint64 wraparound (splitmix64
+mixing, limb adds): compiled numba and C both wrap silently, but numpy
+scalars warn on overflow.  Kernels therefore keep **all** 64-bit state
+as ``np.uint64`` (loop counters cast immediately, module-level
+constants pre-cast) so the arithmetic is identical in both modes.
+
+``prange`` degrades to ``range``; the kernels only use it for
+reductions over independent trials, so serial execution changes
+nothing but speed.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit, prange
+
+    NUMBA_AVAILABLE = True
+except ImportError:
+    NUMBA_AVAILABLE = False
+
+    def njit(*args, **kwargs):
+        """Fallback decorator: run the kernel as plain Python.
+
+        Mirrors the numba call forms ``@njit`` and ``@njit(cache=True,
+        parallel=True)`` and exposes ``py_func`` like a real dispatcher.
+        """
+
+        def wrap(func):
+            @functools.wraps(func)
+            def runner(*a, **kw):
+                with np.errstate(over="ignore"):
+                    return func(*a, **kw)
+
+            runner.py_func = func
+            return runner
+
+        if len(args) == 1 and callable(args[0]) and not kwargs:
+            return wrap(args[0])
+        return wrap
+
+    prange = range
+
+__all__ = ["NUMBA_AVAILABLE", "njit", "prange"]

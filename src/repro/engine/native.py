@@ -1,0 +1,115 @@
+"""The native backend: self-compiled C kernels behind the numba tables.
+
+:class:`NativeDecodeEngine` subclasses the numba engine purely for its
+table construction (chunk weights, dense ELC, confinement masks, the
+rectangular symbol-bit table) and swaps the kernel dispatch for the
+ctypes library built by :mod:`repro.engine.cc` — the same four kernels,
+compiled ahead of time by the system C compiler instead of by numba.
+Tallies are byte-identical to every other backend at a fixed seed; the
+point is speed on hosts that have ``cc`` but not numba (such as the
+acceptance environment for this repo).
+
+Only registered as available when the probe's trial compile+load
+succeeds, so ``auto`` resolution never lands here on a compiler-less
+host.
+"""
+
+from __future__ import annotations
+
+import ctypes
+
+import numpy as np
+
+from repro.engine.base import BackendUnavailableError
+from repro.engine.numba_backend import NumbaDecodeEngine
+from repro.engine.numpy_backend import NumpyBatchResult
+
+#: The C kernels use fixed stack scratch ``uint64_t word[8]``.
+MAX_NATIVE_LIMBS = 8
+
+
+def _ptr(array: np.ndarray) -> ctypes.c_void_p:
+    return ctypes.c_void_p(array.ctypes.data)
+
+
+class NativeDecodeEngine(NumbaDecodeEngine):
+    """C-kernel MUSE backend; numba's tables, ``cc``'s code."""
+
+    name = "native"
+
+    def __init__(self, code, ripple_check: bool = True):
+        super().__init__(code, ripple_check)
+        from repro.engine.cc import load_library
+
+        library = load_library()
+        if library is None:
+            raise BackendUnavailableError(
+                "native kernels unavailable (no working C compiler?)"
+            )
+        if self.limbs > MAX_NATIVE_LIMBS:
+            raise BackendUnavailableError(
+                f"native kernels support up to {MAX_NATIVE_LIMBS} limbs, "
+                f"code needs {self.limbs}"
+            )
+        self._lib = library
+
+    def decode_limbs(self, words: np.ndarray) -> NumpyBatchResult:
+        words = np.ascontiguousarray(words, dtype=np.uint64)
+        batch = words.shape[0]
+        corrected = np.empty_like(words)
+        statuses = np.empty(batch, dtype=np.uint8)
+        rems = np.empty(batch, dtype=np.uint64)
+        self._lib.muse_decode_batch(
+            _ptr(words), batch, self.limbs, _ptr(corrected), _ptr(statuses),
+            _ptr(rems), int(self._m_u64), _ptr(self._weights),
+            _ptr(self._hit_u8), _ptr(self._elc_addend), _ptr(self._low_mask),
+            _ptr(self._above_mask), _ptr(self._bit_symbol),
+            _ptr(self._symbol_outside_masks), int(self.ripple_check),
+        )
+        return NumpyBatchResult(self.code, statuses, words, corrected, rems)
+
+    def fused_chunk_counts(self, chunk, key: int, k_symbols: int):
+        """Fused corruption->decode->tally in C; ``None`` outside k<=2."""
+        layout = self.code.layout
+        if not 1 <= k_symbols <= min(2, layout.symbol_count):
+            return None
+        from repro.orchestrate.corruption import (
+            STREAM_CHOICE,
+            STREAM_DATA,
+            STREAM_VALUE,
+        )
+        from repro.orchestrate.rng import derive_key
+
+        data_keys = np.array(
+            [derive_key(key, STREAM_DATA, j) for j in range(self.limbs)],
+            dtype=np.uint64,
+        )
+        choice_keys = np.array(
+            [
+                derive_key(key, STREAM_CHOICE, s)
+                for s in range(layout.symbol_count)
+            ],
+            dtype=np.uint64,
+        )
+        value_keys = np.array(
+            [derive_key(key, STREAM_VALUE, slot) for slot in range(k_symbols)],
+            dtype=np.uint64,
+        )
+        counts = np.zeros(4, dtype=np.int64)
+        self._lib.muse_fused_chunk(
+            chunk.start, chunk.size, k_symbols, self.limbs, self.code.r,
+            int(self._m_u64), _ptr(self._weights), _ptr(self._k_mask),
+            _ptr(self._hit_u8), _ptr(self._elc_addend), _ptr(self._low_mask),
+            _ptr(self._above_mask), _ptr(self._bit_symbol),
+            _ptr(self._symbol_outside_masks), _ptr(self._sym_bits),
+            _ptr(self._sym_widths), self._sym_bits.shape[1],
+            layout.symbol_count, _ptr(data_keys), _ptr(choice_keys),
+            _ptr(value_keys), int(self.ripple_check), _ptr(counts),
+        )
+        return tuple(int(count) for count in counts)
+
+    def warmup(self) -> None:
+        """Nothing to JIT — compilation happened at import probe time."""
+
+
+__all__ = ["MAX_NATIVE_LIMBS", "NativeDecodeEngine"]

@@ -1,0 +1,373 @@
+"""The numba backend: JIT-compiled MUSE decode over bit-packed limbs.
+
+The same Figure-4 flow as :mod:`repro.engine.numpy_backend`, but as a
+single ``@njit(parallel=True)`` kernel over the ``(batch, limbs)``
+uint64 storage: per-limb modular reduction against precomputed
+``2^(32 j) mod m`` chunk weights, a dense remainder-indexed ELC
+hit/addend lookup, the wrapping multi-limb correction add, and the
+ripple (headroom-mask + symbol-confinement) check — all per trial, with
+no intermediate batch arrays.
+
+On top of plain decode the engine exposes :meth:`fused_chunk_counts`:
+one compiled pass that *generates* a chunk of the counter-hashed
+corruption stream (splitmix64 data draws, score-based symbol choice,
+never-the-original replacement — the in-kernel twin of
+:mod:`repro.orchestrate.corruption`), decodes each word, and
+accumulates the 4-status tally.  Nothing the size of the batch is ever
+materialised, which removes the memory traffic that bounds the numpy
+backend.  The fused path is exact for ``k_symbols <= 2`` — there the
+generator's ``argpartition(scores, k-1)[:, :k]`` provably yields
+``(argmin, arg-2nd-min)``, which the kernel reproduces with a two-
+minimum scan; for larger ``k`` the partial order of the remaining slots
+is an implementation detail of introselect, so ``fused_chunk_counts``
+returns ``None`` and the caller falls back to generate-then-decode.
+
+Every kernel runs compiled when numba is installed and as pure Python
+via :mod:`repro.engine._jit` when it is not — byte-identical tallies
+either way, which is how the parity suites pin the kernel logic on
+numba-free hosts.  All 64-bit state stays ``np.uint64`` end to end
+(loop counters cast on entry, module-level constants pre-cast): numba
+would otherwise promote mixed int64/uint64 arithmetic to float64, and
+the pure-Python fallback would overflow-warn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine._jit import NUMBA_AVAILABLE, njit, prange
+from repro.engine.base import BackendUnavailableError
+from repro.engine.limbs import LIMB_BITS, int_to_limb_row
+from repro.engine.numpy_backend import NumpyBatchResult, NumpyDecodeEngine
+
+#: splitmix64 constants, pre-cast so kernel arithmetic never mixes
+#: signed and unsigned (see repro.orchestrate.rng for the Python twin).
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_U0 = np.uint64(0)
+_U1 = np.uint64(1)
+_LOW32 = np.uint64(0xFFFFFFFF)
+_UMAX = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+_CLEAN = 0
+_CORRECTED = 1
+_NO_MATCH = 2
+_RIPPLE = 3
+
+
+@njit(cache=True)
+def _mix64(x):
+    """splitmix64 output function over one uint64 (wrapping)."""
+    x ^= x >> np.uint64(30)
+    x *= _MIX1
+    x ^= x >> np.uint64(27)
+    x *= _MIX2
+    return x ^ (x >> np.uint64(31))
+
+
+@njit(cache=True)
+def _residue_row(word, weights, m):
+    """``word % m`` via 32-bit chunk weights (one codeword row).
+
+    ``weights[2j] = 2^(64j) mod m`` and ``weights[2j+1] = 2^(64j+32)
+    mod m``; with m under 28 bits the uint64 accumulator cannot
+    overflow (see repro.engine.limbs.residue, this kernel's batch twin).
+    """
+    acc = _U0
+    for j in range(word.shape[0]):
+        limb = word[j]
+        acc += (limb & _LOW32) * weights[2 * j]
+        acc += (limb >> np.uint64(32)) * weights[2 * j + 1]
+    return acc % m
+
+
+@njit(cache=True)
+def _decode_row(
+    word, fixed, m, weights, hit, addend, low_mask, above_mask,
+    bit_symbol, outside, ripple,
+):
+    """Figure-4 for one codeword row; returns ``(status, remainder)``.
+
+    Writes the delivered word into ``fixed`` (the received word unless
+    a correction is accepted), mirroring the numpy backend's
+    ``corrected`` array row for row.
+    """
+    limbs = word.shape[0]
+    rem = _residue_row(word, weights, m)
+    for j in range(limbs):
+        fixed[j] = word[j]
+    if rem == _U0:
+        return _CLEAN, rem
+    index = np.int64(rem)
+    if hit[index] == 0:
+        return _NO_MATCH, rem
+    carry = _U0
+    for j in range(limbs):
+        received = word[j]
+        partial = received + addend[index, j]
+        total = partial + carry
+        fixed[j] = total
+        carry = _U1 if (partial < received or total < carry) else _U0
+    if not ripple:
+        # Ablation decoder: wrap into the n-bit word, always deliver.
+        for j in range(limbs):
+            fixed[j] &= low_mask[j]
+        return _CORRECTED, rem
+    out_of_range = False
+    for j in range(limbs):
+        if (fixed[j] & above_mask[j]) != _U0:
+            out_of_range = True
+    # Confinement to *some* symbol == confinement to the symbol owning
+    # the lowest changed bit (changed is nonzero: the addend never is).
+    lowest = 0
+    for j in range(limbs):
+        changed = fixed[j] ^ word[j]
+        if changed != _U0:
+            bit = 0
+            while (changed & _U1) == _U0:
+                changed >>= _U1
+                bit += 1
+            lowest = LIMB_BITS * j + bit
+            break
+    symbol = bit_symbol[lowest]
+    confined = True
+    for j in range(limbs):
+        if ((fixed[j] ^ word[j]) & outside[symbol, j]) != _U0:
+            confined = False
+    if confined and not out_of_range:
+        return _CORRECTED, rem
+    for j in range(limbs):
+        fixed[j] = word[j]
+    return _RIPPLE, rem
+
+
+@njit(cache=True, parallel=True)
+def _decode_batch_kernel(
+    words, corrected, statuses, rems, m, weights, hit, addend,
+    low_mask, above_mask, bit_symbol, outside, ripple,
+):
+    for i in prange(words.shape[0]):
+        status, rem = _decode_row(
+            words[i], corrected[i], m, weights, hit, addend,
+            low_mask, above_mask, bit_symbol, outside, ripple,
+        )
+        statuses[i] = status
+        rems[i] = rem
+
+
+@njit(cache=True, parallel=True)
+def _fused_chunk_kernel(
+    start, size, k_symbols, limbs, r_shift, m, weights, k_mask,
+    hit, addend, low_mask, above_mask, bit_symbol, outside,
+    sym_bits, sym_widths, data_keys, choice_keys, value_keys, ripple,
+):
+    """Corruption draw -> decode -> tally, one fused pass over a chunk.
+
+    Per global trial ``start + i`` this replays, draw for draw, the
+    vectorised generator chain ``muse_clean_chunk`` ->
+    ``_choose_symbols`` -> ``_replace_chosen_symbols`` (all keyed by
+    the splitmix64 counter hash of the trial index), then decodes in
+    place — so the returned 4-status counts are byte-identical to
+    generate-then-decode at any chunk split.  ``k_symbols`` must be 1
+    or 2 (see the module note).
+    """
+    shift = np.uint64(r_shift)
+    fill = np.uint64(LIMB_BITS - r_shift)
+    symbol_count = sym_widths.shape[0]
+    n_clean = 0
+    n_corrected = 0
+    n_no_match = 0
+    n_ripple = 0
+    for i in prange(size):
+        counter = (np.uint64(start + i) + _U1) * _GOLDEN
+        word = np.empty(limbs, np.uint64)
+        fixed = np.empty(limbs, np.uint64)
+        # -- data draws, masked to k bits (muse_clean_chunk) ----------
+        for j in range(limbs):
+            word[j] = _mix64(data_keys[j] + counter) & k_mask[j]
+        # -- systematic encode: shift in r check bits, add the residue
+        #    complement at the bottom limb (NumpyDecodeEngine.encode) --
+        previous = _U0
+        for j in range(limbs):
+            data_limb = word[j]
+            word[j] = (data_limb << shift) | (previous >> fill)
+            previous = data_limb
+        rem = _residue_row(word, weights, m)
+        carry = (m - rem) % m
+        for j in range(limbs):
+            total = word[j] + carry
+            carry = _U1 if total < carry else _U0
+            word[j] = total
+        # -- choose the k smallest of S iid scores (_choose_symbols):
+        #    a two-minimum scan with strict <, matching argpartition's
+        #    slot order for kth = k - 1 ------------------------------
+        best = _mix64(choice_keys[0] + counter)
+        best_index = 0
+        second = _UMAX
+        second_index = -1
+        for s in range(1, symbol_count):
+            score = _mix64(choice_keys[s] + counter)
+            if score < best:
+                second = best
+                second_index = best_index
+                best = score
+                best_index = s
+            elif score < second:
+                second = score
+                second_index = s
+        if second_index < 0:  # all-ties-at-max; probability ~ S * 2^-64
+            second_index = 1 if best_index == 0 else 0
+        # -- replace each chosen symbol, never with its original value
+        #    (_replace_chosen_symbols, slot order preserved) ----------
+        for slot in range(k_symbols):
+            symbol = best_index if slot == 0 else second_index
+            width = sym_widths[symbol]
+            original = _U0
+            for b in range(width):
+                bit = sym_bits[symbol, b]
+                original |= (
+                    (word[bit >> 6] >> np.uint64(bit & 63)) & _U1
+                ) << np.uint64(b)
+            draw = _mix64(value_keys[slot] + counter) % (
+                (_U1 << np.uint64(width)) - _U1
+            )
+            if draw >= original:
+                draw += _U1
+            for b in range(width):
+                bit = sym_bits[symbol, b]
+                limb = bit >> 6
+                offset = np.uint64(bit & 63)
+                word[limb] = (word[limb] & ~(_U1 << offset)) | (
+                    ((draw >> np.uint64(b)) & _U1) << offset
+                )
+        # -- decode + tally -------------------------------------------
+        status, _ = _decode_row(
+            word, fixed, m, weights, hit, addend, low_mask, above_mask,
+            bit_symbol, outside, ripple,
+        )
+        if status == _CLEAN:
+            n_clean += 1
+        elif status == _CORRECTED:
+            n_corrected += 1
+        elif status == _NO_MATCH:
+            n_no_match += 1
+        else:
+            n_ripple += 1
+    return n_clean, n_corrected, n_no_match, n_ripple
+
+
+class NumbaDecodeEngine(NumpyDecodeEngine):
+    """JIT backend: numpy's tables, numba's kernels.
+
+    Subclasses the numpy engine for table construction (ELC addends,
+    confinement masks — identical by construction) and overrides the
+    hot paths with the compiled kernels.  Instances are cached per
+    ``(code, ripple_check)`` by ``repro.engine.get_engine``, so a
+    worker process compiles once, not once per chunk.
+    """
+
+    name = "numba"
+
+    def __init__(self, code, ripple_check: bool = True):
+        super().__init__(code, ripple_check)
+        if not 0 < code.r < LIMB_BITS:
+            raise BackendUnavailableError(
+                f"fused encode needs 0 < r < {LIMB_BITS}, got {code.r}"
+            )
+        # 2^(32 j) mod m chunk weights, one pair per limb.
+        weights = np.empty(2 * self.limbs, dtype=np.uint64)
+        weight = 1
+        for j in range(2 * self.limbs):
+            weights[j] = weight
+            weight = (weight << 32) % code.m
+        self._weights = weights
+        self._m_u64 = np.uint64(code.m)
+        self._hit_u8 = self._elc_hit.astype(np.uint8)
+        self._k_mask = int_to_limb_row((1 << code.k) - 1, self.limbs)
+        # Per-symbol bit positions as a rectangular table for in-kernel
+        # extract/insert (device-local bit order, like the layout).
+        layout = code.layout
+        max_width = max(len(bits) for bits in layout.symbols)
+        sym_bits = np.zeros(
+            (layout.symbol_count, max_width), dtype=np.int64
+        )
+        sym_widths = np.zeros(layout.symbol_count, dtype=np.int64)
+        for index, bits in enumerate(layout.symbols):
+            sym_widths[index] = len(bits)
+            for b, bit in enumerate(bits):
+                sym_bits[index, b] = bit
+        self._sym_bits = sym_bits
+        self._sym_widths = sym_widths
+
+    def decode_limbs(self, words: np.ndarray) -> NumpyBatchResult:
+        words = np.ascontiguousarray(words, dtype=np.uint64)
+        corrected = np.empty_like(words)
+        statuses = np.empty(words.shape[0], dtype=np.uint8)
+        rems = np.empty(words.shape[0], dtype=np.uint64)
+        _decode_batch_kernel(
+            words, corrected, statuses, rems, self._m_u64, self._weights,
+            self._hit_u8, self._elc_addend, self._low_mask,
+            self._above_mask, self._bit_symbol, self._symbol_outside_masks,
+            self.ripple_check,
+        )
+        return NumpyBatchResult(self.code, statuses, words, corrected, rems)
+
+    def fused_chunk_counts(self, chunk, key: int, k_symbols: int):
+        """The 4-status counts of one fused corruption->decode chunk.
+
+        Returns ``(clean, corrected, no_match, ripple)`` —
+        byte-identical to decoding ``muse_corruption_chunk`` — or
+        ``None`` when ``k_symbols`` is outside the exactly-replayable
+        1..2 range, telling the caller to take the unfused path.
+        """
+        layout = self.code.layout
+        if not 1 <= k_symbols <= min(2, layout.symbol_count):
+            return None
+        from repro.orchestrate.corruption import (
+            STREAM_CHOICE,
+            STREAM_DATA,
+            STREAM_VALUE,
+        )
+        from repro.orchestrate.rng import derive_key
+
+        data_keys = np.array(
+            [derive_key(key, STREAM_DATA, j) for j in range(self.limbs)],
+            dtype=np.uint64,
+        )
+        choice_keys = np.array(
+            [
+                derive_key(key, STREAM_CHOICE, s)
+                for s in range(layout.symbol_count)
+            ],
+            dtype=np.uint64,
+        )
+        value_keys = np.array(
+            [derive_key(key, STREAM_VALUE, slot) for slot in range(k_symbols)],
+            dtype=np.uint64,
+        )
+        counts = _fused_chunk_kernel(
+            chunk.start, chunk.size, k_symbols, self.limbs, self.code.r,
+            self._m_u64, self._weights, self._k_mask, self._hit_u8,
+            self._elc_addend, self._low_mask, self._above_mask,
+            self._bit_symbol, self._symbol_outside_masks, self._sym_bits,
+            self._sym_widths, data_keys, choice_keys, value_keys,
+            self.ripple_check,
+        )
+        return tuple(int(count) for count in counts)
+
+    def warmup(self) -> None:
+        """Compile every kernel on a one-trial input.
+
+        Benchmarks call this before timing so JIT compilation never
+        pollutes a measurement; a no-op (beyond the tiny run) when
+        numba is absent or the kernels are already compiled.
+        """
+        from repro.orchestrate.plan import Chunk
+
+        self.decode_limbs(np.zeros((1, self.limbs), dtype=np.uint64))
+        self.fused_chunk_counts(Chunk(0, 1), key=0, k_symbols=1)
+        self.fused_chunk_counts(Chunk(0, 1), key=0, k_symbols=2)
+
+
+__all__ = ["NUMBA_AVAILABLE", "NumbaDecodeEngine"]

@@ -169,17 +169,30 @@ class MuseMsedSimulator:
 
         The unit of work the shard runner executes; folding the
         returned tallies over a run's chunks reproduces ``run``.
+
+        Engines exposing ``fused_chunk_counts`` (the numba and native
+        backends) run corruption draw, decode, and tally in one
+        compiled pass — byte-identical counts, no intermediate batch
+        arrays; every other engine decodes the generated chunk.
         """
         try:
-            words = muse_corruption_chunk(self.code, chunk, key, self.k_symbols)
             engine = get_engine(
                 self.code, self.backend, ripple_check=self.ripple_check
             )
+            fused = getattr(engine, "fused_chunk_counts", None)
+            counts = (
+                fused(chunk, key, self.k_symbols) if fused is not None else None
+            )
+            if counts is None:
+                words = muse_corruption_chunk(
+                    self.code, chunk, key, self.k_symbols
+                )
+                counts = engine.decode_batch(words).counts()
         except BackendUnavailableError:
-            if self.backend == "numpy":
+            if self.backend != "auto":
                 raise  # an explicit request must not silently degrade
             return self._sequential_chunk(chunk, key)
-        clean, corrected, no_match, ripple = engine.decode_batch(words).counts()
+        clean, corrected, no_match, ripple = counts
         tally = MsedTally()
         # k >= 2 symbols were corrupted, so a delivered word is never
         # the original: CLEAN means the corruption aliased to a valid
@@ -296,19 +309,30 @@ class RsMsedSimulator:
         )
 
     def run_chunk(self, chunk: Chunk, key: int) -> MsedTally:
-        """Classify one chunk of the stream keyed by ``key``."""
+        """Classify one chunk of the stream keyed by ``key``.
+
+        Like the MUSE simulator, engines exposing
+        ``fused_chunk_counts`` tally the chunk in one compiled
+        draw->decode pass; other engines decode the generated batch.
+        """
         try:
-            words = rs_corruption_chunk(self.code, chunk, key, self.k_symbols)
             engine = get_rs_engine(
                 self.code, self.backend, device_bits=self.device_bits
             )
+            fused = getattr(engine, "fused_chunk_counts", None)
+            counts = (
+                fused(chunk, key, self.k_symbols) if fused is not None else None
+            )
+            if counts is None:
+                words = rs_corruption_chunk(
+                    self.code, chunk, key, self.k_symbols
+                )
+                counts = engine.decode_batch(words).counts()
         except BackendUnavailableError:
-            if self.backend == "numpy":
+            if self.backend != "auto":
                 raise  # an explicit request must not silently degrade
             return self._sequential_chunk(chunk, key)
-        clean, corrected, no_match, confinement = engine.decode_batch(
-            words
-        ).counts()
+        clean, corrected, no_match, confinement = counts
         tally = MsedTally()
         # k >= 2 corrupted symbols: CLEAN means the corruption aliased
         # to a valid codeword (silent), CORRECTED is a miscorrection the

@@ -426,17 +426,20 @@ def get_rs_engine(
 ) -> RsDecodeEngine:
     """Build (or fetch the cached) RS engine for one code.
 
-    Shares :func:`repro.engine.resolve_backend` semantics with the MUSE
-    registry: explicit ``numpy`` raises when numpy is missing, ``auto``
-    degrades to ``scalar``.
+    Shares the MUSE backend registry (:mod:`repro.engine`): backends
+    registered with an ``rs_factory`` are selectable here by name, an
+    explicit request for an unavailable backend raises
+    :class:`BackendUnavailableError`, and ``auto`` resolves to the
+    fastest available backend.
     """
+    from repro.engine import rs_engine_factory
+
     name = resolve_backend(backend)
     cache = code.__dict__.setdefault("_rs_engine_cache", {})
     key = (name, device_bits)
     engine = cache.get(key)
     if engine is None:
-        cls = NumpyRsEngine if name == "numpy" else ScalarRsEngine
-        engine = cls(code, device_bits)
+        engine = rs_engine_factory(name)(code, device_bits)
         cache[key] = engine
     return engine
 

@@ -1,0 +1,117 @@
+"""The native Reed-Solomon backend: C PGZ kernels via ctypes.
+
+The RS twin of :mod:`repro.engine.native` — subclasses
+:class:`repro.rs.engine_numba.NumbaRsEngine` for the typed GF tables
+and encode constants, and dispatches batch decode and the fused
+corruption->decode->tally chunk to the shared kernel library compiled
+by :mod:`repro.engine.cc`.  Byte-identical tallies, native speed, no
+package installs.
+"""
+
+from __future__ import annotations
+
+import ctypes
+
+import numpy as np
+
+from repro.engine.base import BackendUnavailableError
+from repro.rs.engine import NumpyRsBatchResult
+from repro.rs.engine_numba import NumbaRsEngine
+
+#: The C kernels use fixed stack scratch ``uint32_t word[64]``.
+MAX_NATIVE_SYMBOLS = 64
+
+
+def _ptr(array: np.ndarray) -> ctypes.c_void_p:
+    return ctypes.c_void_p(array.ctypes.data)
+
+
+class NativeRsEngine(NumbaRsEngine):
+    """C-kernel RS backend; numba's tables, ``cc``'s code."""
+
+    name = "native"
+
+    def __init__(self, code, device_bits: int | None = 4):
+        super().__init__(code, device_bits)
+        from repro.engine.cc import load_library
+
+        library = load_library()
+        if library is None:
+            raise BackendUnavailableError(
+                "native kernels unavailable (no working C compiler?)"
+            )
+        if code.n_symbols > MAX_NATIVE_SYMBOLS:
+            raise BackendUnavailableError(
+                f"native kernels support up to {MAX_NATIVE_SYMBOLS} "
+                f"symbols, code needs {code.n_symbols}"
+            )
+        self._lib = library
+        self._conf_stride = self._confined_u8.shape[1]
+
+    def decode_arrays(self, words: np.ndarray) -> NumpyRsBatchResult:
+        words = np.ascontiguousarray(words, dtype=np.uint32)
+        batch = words.shape[0]
+        corrected = np.empty_like(words)
+        statuses = np.empty(batch, dtype=np.uint8)
+        positions = np.empty(batch, dtype=np.int64)
+        magnitudes = np.empty(batch, dtype=np.uint32)
+        self._lib.rs_decode_batch(
+            _ptr(words), batch, _ptr(corrected), _ptr(statuses),
+            _ptr(positions), _ptr(magnitudes), _ptr(self._exp2_nd),
+            _ptr(self._log_nd), self._order, self.code.n_symbols,
+            self._pad_mask_i, self._partial_position,
+            _ptr(self._confined_u8), int(self._has_policy),
+            self._conf_stride,
+        )
+        return NumpyRsBatchResult(
+            self.code, statuses, words, corrected, positions, magnitudes
+        )
+
+    def fused_chunk_counts(self, chunk, key: int, k_symbols: int):
+        """Fused corruption->decode->tally in C; ``None`` outside k<=2."""
+        code = self.code
+        if not 1 <= k_symbols <= min(2, code.n_symbols):
+            return None
+        from repro.orchestrate.corruption import (
+            STREAM_CHOICE,
+            STREAM_DATA,
+            STREAM_VALUE,
+        )
+        from repro.orchestrate.rng import derive_key
+
+        data_keys = np.array(
+            [
+                derive_key(key, STREAM_DATA, j)
+                for j in range(code.data_symbols)
+            ],
+            dtype=np.uint64,
+        )
+        choice_keys = np.array(
+            [
+                derive_key(key, STREAM_CHOICE, s)
+                for s in range(code.n_symbols)
+            ],
+            dtype=np.uint64,
+        )
+        value_keys = np.array(
+            [derive_key(key, STREAM_VALUE, slot) for slot in range(k_symbols)],
+            dtype=np.uint64,
+        )
+        counts = np.zeros(4, dtype=np.int64)
+        self._lib.rs_fused_chunk(
+            chunk.start, chunk.size, k_symbols, _ptr(self._exp2_nd),
+            _ptr(self._log_nd), self._order, code.n_symbols,
+            code.data_symbols, _ptr(self._widths_nd), self._pad_mask_i,
+            self._partial_position, _ptr(self._confined_u8),
+            int(self._has_policy), self._conf_stride, int(self._enc_aq),
+            int(self._enc_aq2), int(self._enc_ap), int(self._enc_ap2),
+            int(self._enc_det), _ptr(data_keys), _ptr(choice_keys),
+            _ptr(value_keys), _ptr(counts),
+        )
+        return tuple(int(count) for count in counts)
+
+    def warmup(self) -> None:
+        """Nothing to JIT — compilation happened at import probe time."""
+
+
+__all__ = ["MAX_NATIVE_SYMBOLS", "NativeRsEngine"]

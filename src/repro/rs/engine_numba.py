@@ -1,0 +1,296 @@
+"""The numba Reed-Solomon backend: JIT batch PGZ with typed GF tables.
+
+The RS half of the JIT tentpole (MUSE lives in
+:mod:`repro.engine.numba_backend`, which also provides the shared
+splitmix64 kernel helpers).  The whole t=1 PGZ flow — syndrome gathers
+through the doubled exp table, log-difference locator, padding veto,
+x4 device-confinement lookup — runs per word inside one
+``@njit(parallel=True)`` kernel over ``(batch, n_symbols)`` uint32
+codewords, with the GF log/antilog tables passed as typed arrays.
+
+:meth:`NumbaRsEngine.fused_chunk_counts` additionally replays the
+counter-hashed corruption stream in-kernel (data-symbol draws, GF
+check-symbol solve, two-minimum symbol choice, never-the-original
+replacement — the compiled twin of
+:func:`repro.orchestrate.corruption.rs_corruption_chunk`) and tallies
+the 4 statuses without materialising any batch array.  Exact for
+``k_symbols <= 2`` (the argpartition slot order is only pinned there);
+``None`` otherwise, which sends the caller down the generate-then-
+decode path.
+
+All kernels run pure-Python via :mod:`repro.engine._jit` when numba is
+absent; in-kernel GF state is int64 (every value < 2^16) and splitmix64
+state uint64, never mixed — see the MUSE module note.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine._jit import NUMBA_AVAILABLE, njit, prange
+from repro.engine.numba_backend import _GOLDEN, _U1, _UMAX, _mix64
+from repro.rs.engine import NumpyRsBatchResult, NumpyRsEngine
+
+_CLEAN = 0
+_CORRECTED = 1
+_NO_MATCH = 2
+_CONFINEMENT = 3
+
+
+@njit(cache=True)
+def _gf_mul(a, b, exp2, log):
+    """Scalar field product via the doubled exp table (0 absorbs)."""
+    if a == 0 or b == 0:
+        return np.int64(0)
+    return np.int64(exp2[log[a] + log[b]])
+
+
+@njit(cache=True)
+def _gf_div(a, b, exp2, log, order):
+    """Scalar field quotient; ``b`` is a known-nonzero constant here."""
+    if a == 0:
+        return np.int64(0)
+    return np.int64(exp2[log[a] - log[b] + order])
+
+
+@njit(cache=True)
+def _rs_decode_row(
+    word, fixed, exp2, log, order, n_symbols, pad_mask, partial_position,
+    confined, has_policy,
+):
+    """t=1 PGZ for one codeword row; returns ``(status, pos, mag)``.
+
+    Copies the received word into ``fixed`` and applies an accepted
+    correction in place, mirroring NumpyRsEngine.decode_arrays row for
+    row (the corrected symbol is written even when the device policy
+    vetoes delivery, as the vectorised path does).
+    """
+    s1 = np.int64(0)
+    s2 = np.int64(0)
+    for i in range(n_symbols):
+        value = np.int64(word[i])
+        fixed[i] = word[i]
+        if value != 0:
+            lv = log[value]
+            s1 ^= np.int64(exp2[lv + i])
+            s2 ^= np.int64(exp2[lv + ((2 * i) % order)])
+    if s1 == 0 and s2 == 0:
+        return _CLEAN, np.int64(-1), np.int64(0)
+    if s1 == 0 or s2 == 0:
+        return _NO_MATCH, np.int64(-1), np.int64(0)
+    l1 = log[s1]
+    l2 = log[s2]
+    # locator X = S2/S1 == alpha^position: the log difference IS the
+    # position; out-of-range hits are shortened (virtual) symbols.
+    position = (l2 - l1) % order
+    if position >= n_symbols:
+        return _NO_MATCH, np.int64(-1), np.int64(0)
+    magnitude = np.int64(exp2[l1 - position + order])
+    corrected = np.int64(word[position]) ^ magnitude
+    if pad_mask != 0 and position == partial_position:
+        if (corrected & pad_mask) != 0:
+            return _NO_MATCH, np.int64(-1), np.int64(0)
+    fixed[position] = np.uint32(corrected)
+    if has_policy and confined[position, magnitude] == 0:
+        return _CONFINEMENT, np.int64(position), magnitude
+    return _CORRECTED, np.int64(position), magnitude
+
+
+@njit(cache=True, parallel=True)
+def _rs_decode_batch_kernel(
+    words, corrected, statuses, positions, magnitudes, exp2, log, order,
+    n_symbols, pad_mask, partial_position, confined, has_policy,
+):
+    for i in prange(words.shape[0]):
+        status, position, magnitude = _rs_decode_row(
+            words[i], corrected[i], exp2, log, order, n_symbols,
+            pad_mask, partial_position, confined, has_policy,
+        )
+        statuses[i] = status
+        positions[i] = position
+        magnitudes[i] = magnitude
+
+
+@njit(cache=True, parallel=True)
+def _rs_fused_chunk_kernel(
+    start, size, k_symbols, exp2, log, order, n_symbols, data_symbols,
+    widths, pad_mask, partial_position, confined, has_policy,
+    aq, aq2, ap, ap2, det, data_keys, choice_keys, value_keys,
+):
+    """Corruption draw -> encode -> corrupt -> decode -> tally, fused.
+
+    Per global trial this replays ``rs_clean_chunk`` (masked splitmix64
+    data draws, GF check-symbol solve) and the shared choose/replace
+    recipe, then PGZ-decodes in place.  ``k_symbols`` must be 1 or 2.
+    """
+    n_clean = 0
+    n_corrected = 0
+    n_no_match = 0
+    n_confinement = 0
+    for i in prange(size):
+        counter = (np.uint64(start + i) + _U1) * _GOLDEN
+        word = np.empty(n_symbols, np.uint32)
+        fixed = np.empty(n_symbols, np.uint32)
+        # -- data draws + systematic encode (rs_clean_chunk) ----------
+        s1 = np.int64(0)
+        s2 = np.int64(0)
+        for j in range(data_symbols):
+            mask = (_U1 << np.uint64(widths[j])) - _U1
+            value = np.int64(_mix64(data_keys[j] + counter) & mask)
+            word[j] = np.uint32(value)
+            if value != 0:
+                lv = log[value]
+                s1 ^= np.int64(exp2[lv + j])
+                s2 ^= np.int64(exp2[lv + ((2 * j) % order)])
+        c1 = _gf_div(
+            _gf_mul(s1, aq2, exp2, log) ^ _gf_mul(s2, aq, exp2, log),
+            det, exp2, log, order,
+        )
+        c2 = _gf_div(
+            _gf_mul(s2, ap, exp2, log) ^ _gf_mul(s1, ap2, exp2, log),
+            det, exp2, log, order,
+        )
+        word[data_symbols] = np.uint32(c1)
+        word[data_symbols + 1] = np.uint32(c2)
+        # -- choose the k smallest of n iid scores (_choose_symbols) --
+        best = _mix64(choice_keys[0] + counter)
+        best_index = 0
+        second = _UMAX
+        second_index = -1
+        for s in range(1, n_symbols):
+            score = _mix64(choice_keys[s] + counter)
+            if score < best:
+                second = best
+                second_index = best_index
+                best = score
+                best_index = s
+            elif score < second:
+                second = score
+                second_index = s
+        if second_index < 0:  # all-ties-at-max; probability ~ n * 2^-64
+            second_index = 1 if best_index == 0 else 0
+        # -- replace, never with the original (_replace_chosen_symbols)
+        for slot in range(k_symbols):
+            symbol = best_index if slot == 0 else second_index
+            original = np.uint64(word[symbol])
+            draw = _mix64(value_keys[slot] + counter) % (
+                (_U1 << np.uint64(widths[symbol])) - _U1
+            )
+            if draw >= original:
+                draw += _U1
+            word[symbol] = np.uint32(draw)
+        # -- decode + tally -------------------------------------------
+        status, _, _ = _rs_decode_row(
+            word, fixed, exp2, log, order, n_symbols, pad_mask,
+            partial_position, confined, has_policy,
+        )
+        if status == _CLEAN:
+            n_clean += 1
+        elif status == _CORRECTED:
+            n_corrected += 1
+        elif status == _NO_MATCH:
+            n_no_match += 1
+        else:
+            n_confinement += 1
+    return n_clean, n_corrected, n_no_match, n_confinement
+
+
+class NumbaRsEngine(NumpyRsEngine):
+    """JIT RS backend: numpy's tables, numba's kernels.
+
+    Subclasses the numpy engine for table construction (syndrome weight
+    logs, encode constants, the confinement lookup) and overrides the
+    batch decode with the compiled kernel.  Cached per
+    ``(code, device_bits)`` by ``get_rs_engine``, so workers compile
+    once per process.
+    """
+
+    name = "numba"
+
+    def __init__(self, code, device_bits: int | None = 4):
+        super().__init__(code, device_bits)
+        field = code.field
+        self._exp2_nd = field.exp_nd
+        self._log_nd = field.log_nd
+        self._widths_nd = np.asarray(code.symbol_widths, dtype=np.int64)
+        self._pad_mask_i = int(self._pad_mask)
+        if self._confined is not None:
+            self._confined_u8 = self._confined.astype(np.uint8)
+            self._has_policy = True
+        else:
+            self._confined_u8 = np.zeros((1, 1), dtype=np.uint8)
+            self._has_policy = False
+
+    def decode_arrays(self, words: np.ndarray) -> NumpyRsBatchResult:
+        words = np.ascontiguousarray(words, dtype=np.uint32)
+        batch = words.shape[0]
+        corrected = np.empty_like(words)
+        statuses = np.empty(batch, dtype=np.uint8)
+        positions = np.empty(batch, dtype=np.int64)
+        magnitudes = np.empty(batch, dtype=np.uint32)
+        _rs_decode_batch_kernel(
+            words, corrected, statuses, positions, magnitudes,
+            self._exp2_nd, self._log_nd, self._order,
+            self.code.n_symbols, self._pad_mask_i, self._partial_position,
+            self._confined_u8, self._has_policy,
+        )
+        return NumpyRsBatchResult(
+            self.code, statuses, words, corrected, positions, magnitudes
+        )
+
+    def fused_chunk_counts(self, chunk, key: int, k_symbols: int):
+        """The 4-status counts of one fused corruption->decode chunk.
+
+        ``(clean, corrected, no_match, confinement)`` — byte-identical
+        to decoding ``rs_corruption_chunk`` — or ``None`` when
+        ``k_symbols`` falls outside the exactly-replayable 1..2 range.
+        """
+        code = self.code
+        if not 1 <= k_symbols <= min(2, code.n_symbols):
+            return None
+        from repro.orchestrate.corruption import (
+            STREAM_CHOICE,
+            STREAM_DATA,
+            STREAM_VALUE,
+        )
+        from repro.orchestrate.rng import derive_key
+
+        data_keys = np.array(
+            [
+                derive_key(key, STREAM_DATA, j)
+                for j in range(code.data_symbols)
+            ],
+            dtype=np.uint64,
+        )
+        choice_keys = np.array(
+            [
+                derive_key(key, STREAM_CHOICE, s)
+                for s in range(code.n_symbols)
+            ],
+            dtype=np.uint64,
+        )
+        value_keys = np.array(
+            [derive_key(key, STREAM_VALUE, slot) for slot in range(k_symbols)],
+            dtype=np.uint64,
+        )
+        counts = _rs_fused_chunk_kernel(
+            chunk.start, chunk.size, k_symbols, self._exp2_nd, self._log_nd,
+            self._order, code.n_symbols, code.data_symbols, self._widths_nd,
+            self._pad_mask_i, self._partial_position, self._confined_u8,
+            self._has_policy, self._enc_aq, self._enc_aq2, self._enc_ap,
+            self._enc_ap2, self._enc_det, data_keys, choice_keys, value_keys,
+        )
+        return tuple(int(count) for count in counts)
+
+    def warmup(self) -> None:
+        """Compile both kernels on a one-trial input (bench hygiene)."""
+        from repro.orchestrate.plan import Chunk
+
+        self.decode_arrays(
+            np.zeros((1, self.code.n_symbols), dtype=np.uint32)
+        )
+        self.fused_chunk_counts(Chunk(0, 1), key=0, k_symbols=1)
+        self.fused_chunk_counts(Chunk(0, 1), key=0, k_symbols=2)
+
+
+__all__ = ["NUMBA_AVAILABLE", "NumbaRsEngine"]

@@ -18,6 +18,7 @@ from repro.distribute import (
     DistributedInterrupted,
     DistributedSession,
 )
+from repro.engine import available_backends
 from repro.orchestrate import CodeRef, derive_key
 from repro.reliability.monte_carlo import (
     MuseMsedSimulator,
@@ -81,6 +82,19 @@ class TestLoopbackDeterminism:
         with DistributedSession(local_workers=1, backend="scalar") as session:
             distributed = simulator.run(
                 300, seed=SEED, chunk_size=100, executor=session
+            )
+        assert distributed == serial
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_every_registered_backend_folds_the_same_tally(self, backend):
+        """2-worker loopback with each available backend forced on the
+        workers — the JIT/native fused chunk path included — must fold
+        byte-identically to the in-process run."""
+        simulator = muse_simulator()
+        serial = simulator.run(400, seed=SEED, chunk_size=64)
+        with DistributedSession(local_workers=2, backend=backend) as session:
+            distributed = simulator.run(
+                400, seed=SEED, chunk_size=64, executor=session
             )
         assert distributed == serial
 

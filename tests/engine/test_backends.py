@@ -33,8 +33,13 @@ class TestRegistry:
             resolve_backend("cuda")
 
     @requires_numpy
-    def test_auto_prefers_numpy(self):
-        assert resolve_backend("auto") == "numpy"
+    def test_auto_resolves_highest_priority_available(self):
+        """auto picks the fastest available rung of the backend ladder."""
+        backends = available_backends()
+        assert "numpy" in backends
+        assert resolve_backend("auto") == backends[-1]
+        # numpy outranks scalar whenever both are present
+        assert backends.index("numpy") > backends.index("scalar")
 
     def test_engines_are_cached_per_code(self):
         code = muse_80_69()
@@ -75,25 +80,31 @@ class TestEncodeEquivalence:
             code.encode_batch([1 << code.k], backend="numpy")
 
 
+#: Every non-reference backend this host can run gets the full matrix.
+VECTOR_BACKENDS = [b for b in available_backends() if b != "scalar"]
+
+
 @requires_numpy
 class TestDecodeEquivalence:
+    @pytest.mark.parametrize("backend", VECTOR_BACKENDS)
     @pytest.mark.parametrize("factory", ALL_CODES, ids=CODE_IDS)
-    def test_multi_symbol_stream_full_parity(self, factory):
+    def test_multi_symbol_stream_full_parity(self, factory, backend):
         """Same corrupted words -> identical per-word DecodeResults."""
         code = factory()
         words = msed_corruption_batch(code, 1500, seed=2022, k_symbols=2)
         scalar = get_engine(code, "scalar").decode_batch(words)
-        vector = get_engine(code, "numpy").decode_batch(words)
+        vector = get_engine(code, backend).decode_batch(words)
         assert list(scalar.statuses) == list(vector.statuses)
         assert scalar.counts() == vector.counts()
         assert scalar.results() == vector.results()
 
+    @pytest.mark.parametrize("backend", VECTOR_BACKENDS)
     @pytest.mark.parametrize("factory", ALL_CODES, ids=CODE_IDS)
-    def test_no_ripple_stream_full_parity(self, factory):
+    def test_no_ripple_stream_full_parity(self, factory, backend):
         code = factory()
         words = msed_corruption_batch(code, 1000, seed=7, k_symbols=2)
         scalar = get_engine(code, "scalar", ripple_check=False).decode_batch(words)
-        vector = get_engine(code, "numpy", ripple_check=False).decode_batch(words)
+        vector = get_engine(code, backend, ripple_check=False).decode_batch(words)
         assert scalar.results() == vector.results()
 
     def test_single_symbol_corruptions_all_corrected(self):

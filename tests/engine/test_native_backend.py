@@ -1,0 +1,100 @@
+"""The native (self-compiled C) MUSE backend.
+
+Skipped wholesale on hosts without a working C compiler — the registry
+probe is the same gate ``auto`` resolution uses, so skipping here means
+the backend can never have been selected either.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.codes import muse_80_67, muse_80_69, muse_80_70, muse_144_132
+from repro.engine import (
+    available_backends,
+    get_engine,
+    msed_corruption_batch,
+    numpy_available,
+)
+from repro.orchestrate.corruption import muse_corruption_chunk
+from repro.orchestrate.plan import Chunk
+from repro.orchestrate.rng import derive_key
+
+# Gate on the registry (not the raw compiler probe) so the suite also
+# skips when REPRO_DISABLE_BACKENDS hides the backend from `auto`.
+pytestmark = pytest.mark.skipif(
+    not (numpy_available() and "native" in available_backends()),
+    reason="native backend unavailable (no C compiler, or disabled)",
+)
+
+ALL_CODES = [muse_144_132, muse_80_69, muse_80_67, muse_80_70]
+CODE_IDS = ["144_132", "80_69", "80_67_eq5", "80_70_eq6_hybrid"]
+
+
+class TestNativeRegistration:
+    def test_probe_and_registry_agree(self):
+        assert "native" in available_backends()
+
+    def test_native_outranks_numpy_for_auto(self):
+        backends = available_backends()
+        assert backends.index("native") > backends.index("numpy")
+
+    def test_engine_cached_per_code(self):
+        code = muse_80_69()
+        assert get_engine(code, "native") is get_engine(code, "native")
+
+    def test_library_compiled_once(self):
+        from repro.engine.cc import load_library
+
+        assert load_library() is load_library()
+
+
+class TestNativeDecodeParity:
+    @pytest.mark.parametrize("factory", ALL_CODES, ids=CODE_IDS)
+    def test_corrupted_stream_matches_numpy(self, factory):
+        code = factory()
+        words = msed_corruption_batch(code, 600, seed=2022, k_symbols=2)
+        ref = get_engine(code, "numpy").decode_batch(words)
+        nat = get_engine(code, "native").decode_batch(words)
+        assert np.array_equal(ref.statuses, nat.statuses)
+        assert ref.counts() == nat.counts()
+        assert ref.results() == nat.results()
+
+    @pytest.mark.parametrize("factory", ALL_CODES, ids=CODE_IDS)
+    def test_ripple_ablation_matches_numpy(self, factory):
+        code = factory()
+        words = msed_corruption_batch(code, 400, seed=7, k_symbols=2)
+        ref = get_engine(code, "numpy", ripple_check=False).decode_batch(words)
+        nat = get_engine(code, "native", ripple_check=False).decode_batch(words)
+        assert np.array_equal(ref.statuses, nat.statuses)
+        assert ref.results() == nat.results()
+
+
+class TestNativeFusedChunk:
+    @pytest.mark.parametrize("k_symbols", [1, 2])
+    @pytest.mark.parametrize("factory", ALL_CODES, ids=CODE_IDS)
+    def test_counts_match_generate_then_decode(self, factory, k_symbols):
+        code = factory()
+        engine = get_engine(code, "native")
+        key = derive_key(13)
+        for chunk in (Chunk(0, 250), Chunk(137, 200)):
+            words = muse_corruption_chunk(code, chunk, key, k_symbols)
+            expect = get_engine(code, "numpy").decode_batch(words).counts()
+            assert engine.fused_chunk_counts(chunk, key, k_symbols) == expect
+
+    def test_declines_beyond_two_symbols(self):
+        code = muse_80_69()
+        engine = get_engine(code, "native")
+        assert engine.fused_chunk_counts(Chunk(0, 10), derive_key(1), 3) is None
+
+    def test_matches_numba_kernel_exactly(self):
+        """C and the (fallback or JIT) numba kernel are twins."""
+        from repro.engine.numba_backend import NumbaDecodeEngine
+
+        code = muse_144_132()
+        native = get_engine(code, "native")
+        jit = NumbaDecodeEngine(code)
+        key = derive_key(99)
+        for chunk in (Chunk(0, 300), Chunk(777, 123)):
+            assert native.fused_chunk_counts(
+                chunk, key, 2
+            ) == jit.fused_chunk_counts(chunk, key, 2)

@@ -55,8 +55,12 @@ class TestRegistry:
         )
 
     @requires_numpy
-    def test_auto_prefers_numpy(self):
-        assert isinstance(get_rs_engine(make_code(8), "auto"), NumpyRsEngine)
+    def test_auto_prefers_fastest_available(self):
+        """auto lands on the registry's top rung; every vector backend
+        subclasses the numpy engine, so the tables are shared."""
+        engine = get_rs_engine(make_code(8), "auto")
+        assert isinstance(engine, NumpyRsEngine)
+        assert engine.name == available_backends()[-1]
 
     def test_explicit_numpy_raises_without_numpy(self, monkeypatch):
         """Shared registry semantics: explicit numpy must not degrade."""
@@ -127,16 +131,21 @@ class TestEncodeEquivalence:
             get_rs_engine(code, "numpy").encode_batch([row])
 
 
+#: Every non-reference backend this host can run gets the full matrix.
+VECTOR_BACKENDS = [b for b in available_backends() if b != "scalar"]
+
+
 @requires_numpy
 class TestDecodeEquivalence:
+    @pytest.mark.parametrize("backend", VECTOR_BACKENDS)
     @pytest.mark.parametrize("b", TABLE_IV_B)
     @pytest.mark.parametrize("device_bits", [4, None], ids=["x4", "nopolicy"])
-    def test_multi_symbol_stream_full_parity(self, b, device_bits):
+    def test_multi_symbol_stream_full_parity(self, b, device_bits, backend):
         """Same corrupted words -> identical per-word statuses/results."""
         code = make_code(b)
         words = rs_msed_corruption_batch(code, 1500, seed=2022, k_symbols=2)
         scalar = get_rs_engine(code, "scalar", device_bits).decode_batch(words)
-        vector = get_rs_engine(code, "numpy", device_bits).decode_batch(words)
+        vector = get_rs_engine(code, backend, device_bits).decode_batch(words)
         assert list(scalar.statuses) == list(vector.statuses)
         assert scalar.counts() == vector.counts()
         assert scalar.results() == vector.results()
@@ -222,12 +231,14 @@ class TestDecodeEquivalence:
 
 class TestSimulatorParity:
     @requires_numpy
+    @pytest.mark.parametrize("backend", VECTOR_BACKENDS)
     @pytest.mark.parametrize("b", TABLE_IV_B)
-    def test_fixed_seed_tallies_identical(self, b):
-        """The Table-IV contract: byte-identical MsedResult per backend."""
+    def test_fixed_seed_tallies_identical(self, b, backend):
+        """The Table-IV contract: byte-identical MsedResult per backend
+        (the JIT/native rungs take the fused chunk path here)."""
         code = make_code(b)
         scalar = RsMsedSimulator(code, backend="scalar").run(1200, seed=2022)
-        vector = RsMsedSimulator(code, backend="numpy").run(1200, seed=2022)
+        vector = RsMsedSimulator(code, backend=backend).run(1200, seed=2022)
         assert scalar == vector
 
     @requires_numpy
