@@ -33,7 +33,7 @@ def main() -> None:
     )
     key = derive_key(SEED)
     checkpoint_dir = Path(tempfile.mkdtemp(prefix="muse-ckpt-"))
-    print(f"checkpoint journal: {checkpoint_dir}/checkpoint.json")
+    print(f"checkpoint journal: {checkpoint_dir}/checkpoint.jsonl")
 
     # --- first attempt: 2 workers, forced to die after 7 chunks -------
     print(f"\nrun 1: {TRIALS} trials over 2 workers, crashing mid-run ...")

@@ -217,6 +217,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help=(
+            "deterministic fault injection for distributed runs (also "
+            "settable via REPRO_CHAOS): comma-separated rules like "
+            "'seed=7,reset=0.1,torn=0.05,crash=@2,hang=0.1:0.5,"
+            "dup=0.2,journal=@3' — probabilities fire per event, @K "
+            "fires once on the K-th event; tallies stay byte-identical "
+            "to --jobs 1 under every fault class"
+        ),
+    )
+    parser.add_argument(
         "--connect", default=None, metavar="HOST:PORT",
         help="(worker) coordinator address to pull chunk tasks from",
     )
@@ -309,6 +320,14 @@ def experiment_kwargs(args: argparse.Namespace) -> dict[str, dict]:
 
 
 def run(args: argparse.Namespace) -> int:
+    if args.chaos is not None:
+        from repro.distribute import parse_chaos
+
+        try:
+            parse_chaos(args.chaos)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.experiment == "worker":
         return _run_worker(args)
     if args.experiment == "coordinator":
@@ -362,6 +381,24 @@ def run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.chaos is not None and args.distribute is None:
+        # Chaos wraps the distributed transport/worker loop; without a
+        # session there is nothing to inject into — refuse rather than
+        # silently running clean (the flag-dropping regression class).
+        print(
+            "error: --chaos requires --distribute (or the worker/"
+            "coordinator subcommands)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.chaos is not None:
+        from repro.distribute import CHAOS_ENV
+
+        # The environment variable is the one channel every consumer
+        # reads — the coordinator session, and (by inheritance) every
+        # worker subprocess the loopback fleet spawns.  Set only after
+        # the guards pass so a refused invocation leaves no trace.
+        os.environ[CHAOS_ENV] = args.chaos
     if args.progress and args.experiment not in (
         DISTRIBUTED_EXPERIMENTS + ("all",)
     ):
@@ -440,7 +477,10 @@ def run(args: argparse.Namespace) -> int:
                 print(ready.pop(name))
                 emitted += 1
 
-        from repro.distribute import DistributedInterrupted
+        from repro.distribute import (
+            DistributedDegraded,
+            DistributedInterrupted,
+        )
 
         try:
             run_all(
@@ -456,6 +496,9 @@ def run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 3
+        except DistributedDegraded as exc:
+            print(f"degraded: {exc}", file=sys.stderr)
+            return 4
         finally:
             # Only non-empty when a failure interrupted the sweep:
             # completed experiments held back for presentation order
@@ -471,7 +514,7 @@ def run(args: argparse.Namespace) -> int:
     call_kwargs = kwargs[args.experiment]
     if args.experiment in MONTE_CARLO_EXPERIMENTS:
         call_kwargs["jobs"] = args.jobs
-    from repro.distribute import DistributedInterrupted
+    from repro.distribute import DistributedDegraded, DistributedInterrupted
 
     try:
         # One registry (sweep.EXPERIMENT_TARGETS) backs both direct
@@ -485,6 +528,12 @@ def run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 3
+    except DistributedDegraded as exc:
+        # Exit 4 ≠ exit 3: degraded means the *fleet or a chunk* failed
+        # (not an operator interrupt), but the partial-results report +
+        # checkpoint make the run finishable with --resume.
+        print(f"degraded: {exc}", file=sys.stderr)
+        return 4
     return 0
 
 
@@ -506,7 +555,9 @@ def _run_worker(args: argparse.Namespace) -> int:
         return 2
     from repro.distribute import serve_worker
 
-    executed = serve_worker(host, int(port), backend=args.backend)
+    executed = serve_worker(
+        host, int(port), backend=args.backend, chaos=args.chaos
+    )
     print(f"worker done: {executed} chunks executed", file=sys.stderr)
     return 0
 

@@ -19,13 +19,19 @@ JSON-line socket protocol and folds the returned tallies exactly once:
 * :mod:`~repro.distribute.worker` / :mod:`~repro.distribute.local` —
   the ``repro-muse worker --connect`` pull loop and the loopback
   ``--distribute local:N`` subprocess fleet;
-* :mod:`~repro.distribute.progress` — the ``--progress`` heartbeats.
+* :mod:`~repro.distribute.progress` — the ``--progress`` heartbeats;
+* :mod:`~repro.distribute.chaos` — deterministic fault injection
+  (``--chaos SPEC`` / ``REPRO_CHAOS``): seeded connection resets, torn
+  frames, worker crashes, straggler hangs, duplicated results, and
+  torn journal tails, so the fault-tolerance story is *tested* the way
+  the repo tests memory faults, not assumed.
 
 The invariant, inherited from the chunk/fold contract and preserved by
 exactly-once folding: a distributed run's tally — and every adaptive
 stopping decision derived from it — is **byte-identical** to the
 ``jobs=1`` in-process run at the same seed, across worker counts,
-worker deaths, and checkpoint/resume boundaries.
+worker deaths, reconnects, injected chaos, and checkpoint/resume
+boundaries.
 """
 
 from __future__ import annotations
@@ -33,9 +39,22 @@ from __future__ import annotations
 import contextlib
 from typing import Iterator
 
-from repro.distribute.checkpoint import JOURNAL_NAME, CheckpointJournal
+from repro.distribute.chaos import (
+    CHAOS_ENV,
+    ChaosSpec,
+    FaultPlan,
+    parse_chaos,
+    resolve_chaos,
+)
+from repro.distribute.checkpoint import (
+    JOURNAL_NAME,
+    CheckpointJournal,
+    SalvageReport,
+)
 from repro.distribute.coordinator import (
     INTERRUPT_ENV,
+    PARTIAL_RESULTS_NAME,
+    DistributedDegraded,
     DistributedInterrupted,
     DistributedSession,
 )
@@ -52,19 +71,27 @@ from repro.distribute.worker import serve_worker
 from repro.orchestrate.rng import derive_key
 
 __all__ = [
+    "CHAOS_ENV",
+    "ChaosSpec",
     "CheckpointJournal",
     "ChunkProgress",
     "ChunkQueue",
+    "DistributedDegraded",
     "DistributedInterrupted",
     "DistributedSession",
+    "FaultPlan",
     "Heartbeat",
     "INTERRUPT_ENV",
     "JOURNAL_NAME",
+    "PARTIAL_RESULTS_NAME",
     "PROTOCOL_VERSION",
+    "SalvageReport",
     "execution_context",
     "from_wire",
+    "parse_chaos",
     "parse_distribute",
     "register_wire_type",
+    "resolve_chaos",
     "serve_worker",
     "session_from_spec",
     "spawn_local_workers",
@@ -110,19 +137,24 @@ def session_from_spec(
     progress: bool = False,
     lease_timeout: float = 60.0,
     interrupt_after: int | None = None,
+    chaos: str | None = None,
 ) -> DistributedSession:
-    """Build (but do not open) the session a ``--distribute`` run uses."""
+    """Build (but do not open) the session a ``--distribute`` run uses.
+
+    ``chaos`` (defaulting to ``$REPRO_CHAOS``) arms deterministic fault
+    injection on the coordinator *and* the spawned loopback workers.
+    """
     kwargs = parse_distribute(spec)
     checkpoint = None
     if checkpoint_dir is not None:
-        # Rate-limit journal rewrites (O(entries) each): folds between
-        # saves are only ever re-computable work, and the coordinator
-        # flushes at every batch barrier, interrupt, and close.
+        # The append-only journal persists each fold in O(1) (fsync'd
+        # line append), so no rate limiting is needed: a hard kill can
+        # tear at most the final in-flight record, which the CRC
+        # salvage discards on --resume.
         checkpoint = CheckpointJournal.open(
             checkpoint_dir,
             key=derive_key(seed),
             resume=resume,
-            min_save_interval=2.0,
         )
     return DistributedSession(
         backend=backend,
@@ -130,6 +162,7 @@ def session_from_spec(
         lease_timeout=lease_timeout,
         heartbeat=Heartbeat() if progress else None,
         interrupt_after=interrupt_after,
+        chaos=chaos,
         **kwargs,
     )
 
@@ -144,6 +177,7 @@ def execution_context(
     backend: str | None = None,
     progress: bool = False,
     lease_timeout: float = 60.0,
+    chaos: str | None = None,
 ) -> Iterator[tuple]:
     """The one experiment-side entry point: ``(executor, progress_cb)``.
 
@@ -170,6 +204,7 @@ def execution_context(
         backend=backend,
         progress=progress,
         lease_timeout=lease_timeout,
+        chaos=chaos,
     )
     with session:
         yield session, None

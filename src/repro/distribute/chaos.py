@@ -1,0 +1,242 @@
+"""Deterministic fault injection for the distributed runtime.
+
+The repo simulates memory faults for a living; this module points the
+same discipline at the runtime itself.  A :class:`ChaosSpec` names a
+set of fault classes with firing rules, and a :class:`FaultPlan`
+evaluates those rules as a **pure function** of ``(seed, scope, fault
+class, event index)`` using the same splitmix64 counter hashing the
+Monte-Carlo streams use (:mod:`repro.orchestrate.rng`) — no wall
+clock, no shared RNG state — so a chaos run injects the same faults at
+the same per-worker event counts every time it is replayed.
+
+Fault classes (all opt-in, all off by default):
+
+========== ==========================================================
+``reset``   drop the worker's connection before a result is reported
+            (exercises lease re-queue + worker rejoin)
+``torn``    replace a result frame with a torn/garbage line, then
+            drop the connection (exercises the coordinator's
+            protocol-error path)
+``crash``   hard-kill the worker process (``os._exit``) before it
+            runs its next task (exercises work stealing from dead
+            workers, and total-fleet-loss degradation)
+``hang``    straggler sleep before reporting (exercises lease-timeout
+            steals; duration set via ``hang=P:SECONDS``)
+``dup``     send the result frame twice (exercises exactly-once folds)
+``journal`` tear the checkpoint journal's tail mid-record and stop
+            journalling, as a crash mid-append would (exercises CRC
+            salvage on ``--resume``)
+========== ==========================================================
+
+Spec syntax — comma-separated ``key=value`` (``--chaos SPEC`` or the
+``REPRO_CHAOS`` environment variable, which worker subprocesses
+inherit)::
+
+    seed=7,reset=0.1,dup=0.25        # probabilistic, per event
+    crash=@2                         # deterministic: fire on the 2nd
+                                     # event of that class (once)
+    hang=0.1:0.8                     # 10% of tasks sleep 0.8s
+    journal=@3                       # tear the 3rd journal append
+
+A rule is evaluated once per *event* (one task pulled, one result
+sent, one journal append …) against a per-``(scope, class)`` counter,
+where the scope is the worker's name (or ``coordinator``) — so two
+workers under the same spec fail at different, but individually
+reproducible, points.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from dataclasses import dataclass
+
+from repro.orchestrate.rng import derive_key, trial_seed
+
+#: Environment variable carrying the chaos spec; ``--chaos`` sets it so
+#: spawned loopback workers inherit the same plan.
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: Every fault class a spec may name, in documentation order.
+FAULT_KINDS = ("reset", "torn", "crash", "hang", "dup", "journal")
+
+#: Exit status of a chaos-crashed worker process (distinct from real
+#: failures so fleet logs attribute the death correctly).
+CHAOS_CRASH_EXIT = 86
+
+_TWO_64 = float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """When one fault class fires: Bernoulli per event, or exactly
+    once on the ``at``-th event of that class in a scope."""
+
+    probability: float = 0.0
+    at: int | None = None
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A parsed ``--chaos`` spec: seed + one rule per fault class."""
+
+    seed: int = 0
+    rules: tuple[tuple[str, FaultRule], ...] = ()
+    hang_seconds: float = 0.25
+
+    def rule(self, kind: str) -> FaultRule | None:
+        for name, rule in self.rules:
+            if name == kind:
+                return rule
+        return None
+
+    @property
+    def kinds(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.rules)
+
+
+def _parse_rule(kind: str, value: str) -> FaultRule:
+    if value.startswith("@"):
+        at = int(value[1:])
+        if at < 1:
+            raise ValueError(f"{kind}=@{at}: event index must be >= 1")
+        return FaultRule(at=at)
+    probability = float(value)
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"{kind}={value}: probability must be in [0, 1]")
+    return FaultRule(probability=probability)
+
+
+def parse_chaos(spec: str) -> ChaosSpec:
+    """Parse a chaos spec string (see the module docstring for syntax)."""
+    seed = 0
+    hang_seconds = 0.25
+    rules: list[tuple[str, FaultRule]] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        value = value.strip()
+        try:
+            if not sep or not value:
+                raise ValueError("expected key=value")
+            if key == "seed":
+                seed = int(value)
+            elif key == "hang":
+                rule_text, colon, duration = value.partition(":")
+                if colon:
+                    hang_seconds = float(duration)
+                    if hang_seconds < 0:
+                        raise ValueError("hang duration must be >= 0")
+                rules.append((key, _parse_rule(key, rule_text)))
+            elif key in FAULT_KINDS:
+                rules.append((key, _parse_rule(key, value)))
+            else:
+                raise ValueError(
+                    f"unknown fault class {key!r}; expected seed, "
+                    f"{', '.join(FAULT_KINDS)}"
+                )
+        except ValueError as exc:
+            raise ValueError(
+                f"bad --chaos spec {spec!r} at {part!r}: {exc}"
+            ) from None
+    return ChaosSpec(
+        seed=seed, rules=tuple(rules), hang_seconds=hang_seconds
+    )
+
+
+def resolve_chaos(
+    chaos: "ChaosSpec | str | None",
+) -> ChaosSpec | None:
+    """Normalise a chaos argument: parsed spec, spec string, or —
+    when ``None`` — the :data:`CHAOS_ENV` environment variable."""
+    if chaos is None:
+        chaos = os.environ.get(CHAOS_ENV) or None
+    if chaos is None or isinstance(chaos, ChaosSpec):
+        return chaos
+    return parse_chaos(chaos)
+
+
+class FaultPlan:
+    """One scope's deterministic fault schedule under a spec.
+
+    ``should(kind)`` advances that class's event counter and answers
+    whether the fault fires at this event — a pure function of
+    ``(spec.seed, scope, kind, event index)``, so replaying the same
+    run replays the same faults.
+    """
+
+    def __init__(self, spec: ChaosSpec, scope: str):
+        self.spec = spec
+        self.scope = scope
+        self._counts: dict[str, int] = {}
+        scope_part = zlib.crc32(scope.encode())
+        self._keys = {
+            kind: derive_key(spec.seed, scope_part, index)
+            for index, kind in enumerate(FAULT_KINDS)
+        }
+
+    def should(self, kind: str) -> bool:
+        rule = self.spec.rule(kind)
+        if rule is None:
+            return False
+        count = self._counts.get(kind, 0) + 1
+        self._counts[kind] = count
+        if rule.at is not None:
+            return count == rule.at
+        return trial_seed(self._keys[kind], count) / _TWO_64 < rule.probability
+
+    def events(self, kind: str) -> int:
+        """How many times ``kind`` has been evaluated in this scope."""
+        return self._counts.get(kind, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlan(scope={self.scope!r}, seed={self.spec.seed}, "
+            f"kinds={self.spec.kinds})"
+        )
+
+
+def plan_for(
+    chaos: "ChaosSpec | str | None", scope: str
+) -> FaultPlan | None:
+    """A :class:`FaultPlan` for ``scope``, or ``None`` with chaos off."""
+    spec = resolve_chaos(chaos)
+    if spec is None or not spec.rules:
+        return None
+    return FaultPlan(spec, scope)
+
+
+def describe(spec: ChaosSpec) -> str:
+    """One log line summarising an active spec."""
+    parts = [f"seed={spec.seed}"]
+    for name, rule in spec.rules:
+        value = f"@{rule.at}" if rule.at is not None else f"{rule.probability}"
+        if name == "hang":
+            value += f":{spec.hang_seconds}"
+        parts.append(f"{name}={value}")
+    return ",".join(parts)
+
+
+def spec_string(spec: ChaosSpec) -> str:
+    """Round-trippable spec string (``parse_chaos(spec_string(s)) == s``
+    up to rule order) — what the coordinator forwards to spawned
+    loopback workers."""
+    return describe(spec)
+
+
+__all__ = [
+    "CHAOS_ENV",
+    "CHAOS_CRASH_EXIT",
+    "ChaosSpec",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultRule",
+    "describe",
+    "parse_chaos",
+    "plan_for",
+    "resolve_chaos",
+    "spec_string",
+]

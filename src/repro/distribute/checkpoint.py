@@ -1,39 +1,54 @@
-"""Persistent tally checkpoints: journal every folded chunk, resume any
-interrupted run byte-identically.
+"""Persistent tally checkpoints: a self-healing append-only journal.
 
-The journal records one entry per completed :class:`ChunkTask` —
-``(group, chunk range, chunk tally)`` — plus the run's stream ``key``.
-Per-*chunk* tallies (not just a folded total per group) are what make
-resume exact under **any** batch structure: an adaptive run submits
-rounds of chunk ranges, a resumed coordinator replays the same
-deterministic rounds, and every chunk the journal already holds is
-answered from disk while the rest recompute — the fold is the same
-integer sums either way, so the resumed tally (and every adaptive
-stopping decision derived from it) is byte-identical to an
-uninterrupted run.  A chunk plan that *doesn't* match the journal
-(different ``chunk_size``) simply misses and recomputes — still
-correct, just unsaved work.
+The journal records one line per completed :class:`ChunkTask` —
+``(group, chunk range, chunk tally, spec fingerprint)`` — under a
+header naming the run's stream ``key``.  Per-*chunk* tallies (not just
+a folded total per group) are what make resume exact under **any**
+batch structure: an adaptive run submits rounds of chunk ranges, a
+resumed coordinator replays the same deterministic rounds, and every
+chunk the journal already holds is answered from disk while the rest
+recompute — the fold is the same integer sums either way, so the
+resumed tally (and every adaptive stopping decision derived from it)
+is byte-identical to an uninterrupted run.  A chunk plan that
+*doesn't* match the journal (different ``chunk_size``) simply misses
+and recomputes — still correct, just unsaved work.
 
-Every save is an atomic temp-file + rename
-(:func:`repro.orchestrate.persist.atomic_write_json`), so a run killed
-mid-write leaves either the previous complete journal or the new one,
-never a truncated file.
+Durability model (version 2):
+
+* every line carries a CRC32 of its own payload, and every append is
+  fsync'd (:func:`repro.orchestrate.persist.durable_append`) — O(1)
+  per record, unlike the version-1 whole-file rewrite;
+* appends are not atomic, so a crash (or an injected ``journal``
+  chaos fault) can tear the final line — and **only** the final line,
+  because the fsync orders everything before it;
+* on load, the journal keeps the longest valid prefix of records.  A
+  damaged file is **salvaged**, not fatal: the original is quarantined
+  as a ``.corrupt`` sidecar, the valid prefix is rewritten atomically,
+  and a resumed run re-simulates only the chunks the tear lost
+  (:attr:`CheckpointJournal.salvage` reports what happened).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import time
+import zlib
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-from repro.orchestrate.persist import atomic_write_json
+from repro.orchestrate.persist import atomic_write_text, durable_append
 from repro.orchestrate.plan import Chunk
 from repro.reliability.metrics import MsedTally
 
-JOURNAL_VERSION = 1
-JOURNAL_NAME = "checkpoint.json"
+JOURNAL_VERSION = 2
+JOURNAL_NAME = "checkpoint.jsonl"
+
+#: Quarantine suffix for a damaged journal (sits next to the salvaged
+#: rewrite so the evidence survives for post-mortems).
+CORRUPT_SUFFIX = ".corrupt"
 
 _TALLY_FIELDS = (
     "trials",
@@ -63,17 +78,58 @@ def spec_fingerprint(spec: Any) -> str:
     return repr(spec)
 
 
-class CheckpointJournal:
-    """All completed chunks of one run, persisted atomically.
+def _encode_line(record: dict) -> bytes:
+    """One journal line: the record plus a CRC32 of its canonical form."""
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(body.encode())
+    return (
+        json.dumps(
+            {**record, "crc": crc}, sort_keys=True, separators=(",", ":")
+        ).encode()
+        + b"\n"
+    )
 
-    In memory: ``(group key, start, size) -> MsedTally``.  On disk: one
-    JSON document, rewritten atomically.  By default every
-    :meth:`record` persists immediately; for long runs the rewrite is
-    O(entries), so ``min_save_interval`` (seconds) rate-limits the hot
-    path — the coordinator flushes pending entries at every batch
-    barrier, on interrupt, and at session close, so a hard kill loses
-    at most an interval's worth of *re-computable* chunks, never
-    correctness.
+
+def _decode_line(line: bytes) -> dict | None:
+    """Parse + CRC-verify one line; ``None`` if torn or corrupt."""
+    try:
+        record = json.loads(line)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(record, dict) or "crc" not in record:
+        return None
+    crc = record.pop("crc")
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    if zlib.crc32(body.encode()) != crc:
+        return None
+    return record
+
+
+@dataclass(frozen=True)
+class SalvageReport:
+    """What loading a damaged journal kept and dropped."""
+
+    records_kept: int
+    lines_dropped: int
+    corrupt_path: Path
+
+
+class CheckpointJournal:
+    """All completed chunks of one run, persisted as CRC'd JSON lines.
+
+    In memory: ``(group key, start, size) -> MsedTally``.  On disk: a
+    header line plus one appended line per record.  By default every
+    :meth:`record` persists immediately (appends are O(1));
+    ``save_every`` / ``min_save_interval`` batch appends for callers
+    that want to trade a few re-computable chunks for fewer fsyncs —
+    the coordinator flushes pending entries at every batch barrier, on
+    interrupt, and at session close, so a hard kill loses at most the
+    batched tail of *re-computable* chunks, never correctness.
+
+    ``chaos`` (a :class:`repro.distribute.chaos.FaultPlan`) injects the
+    ``journal`` fault class: a scheduled append writes a torn line and
+    the journal goes silent afterwards, exactly as a crash mid-append
+    would leave the file.
     """
 
     def __init__(
@@ -82,15 +138,21 @@ class CheckpointJournal:
         key: int,
         save_every: int = 1,
         min_save_interval: float = 0.0,
+        chaos: Any | None = None,
     ):
         self.path = Path(path)
         self.key = key
         self.save_every = max(1, save_every)
         self.min_save_interval = min_save_interval
+        self.chaos = chaos
+        self.salvage: SalvageReport | None = None
         self._last_save = -float("inf")
         self._entries: dict[tuple[str, int, int], MsedTally] = {}
         self._fingerprints: dict[str, str] = {}
+        self._pending: list[dict] = []
         self._unsaved = 0
+        self._header_written = False
+        self._torn = False  # a chaos journal fault fired: play dead
 
     # -- construction ---------------------------------------------------
 
@@ -102,6 +164,7 @@ class CheckpointJournal:
         resume: bool = False,
         save_every: int = 1,
         min_save_interval: float = 0.0,
+        chaos: Any | None = None,
     ) -> "CheckpointJournal":
         """Start (or resume) the journal under ``directory``.
 
@@ -109,7 +172,8 @@ class CheckpointJournal:
         ``resume=True`` is the explicit opt-in that loads it instead.
         A resumed journal must match this run's stream ``key`` (seed):
         folding chunks of a different stream would silently corrupt the
-        tally.
+        tally.  A damaged journal salvages its valid prefix rather than
+        refusing (see the module docstring).
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
@@ -118,6 +182,7 @@ class CheckpointJournal:
             key,
             save_every=save_every,
             min_save_interval=min_save_interval,
+            chaos=chaos,
         )
         if journal.path.exists():
             if not resume:
@@ -134,24 +199,116 @@ class CheckpointJournal:
         return journal
 
     def _load(self) -> None:
-        payload = json.loads(self.path.read_text())
-        if payload.get("version") != JOURNAL_VERSION:
+        raw = self.path.read_bytes()
+        lines = [line for line in raw.split(b"\n")]
+        # Drop the trailing empty element a well-formed final newline
+        # produces; keep interior blanks so they count as damage.
+        if lines and lines[-1] == b"":
+            lines.pop()
+        header = _decode_line(lines[0]) if lines else None
+        if header is None or "version" not in header:
+            self._refuse_legacy_or_quarantine(raw, lines)
+            return
+        if header.get("version") != JOURNAL_VERSION:
             raise ValueError(
                 f"checkpoint journal {self.path} has version "
-                f"{payload.get('version')!r}, expected {JOURNAL_VERSION}"
+                f"{header.get('version')!r}, expected {JOURNAL_VERSION}"
             )
-        if payload.get("key") != self.key:
+        if header.get("key") != self.key:
             raise ValueError(
                 f"checkpoint journal {self.path} belongs to stream key "
-                f"{payload.get('key')} but this run uses key {self.key} "
+                f"{header.get('key')} but this run uses key {self.key} "
                 f"(different --seed?); refusing to mix streams"
             )
-        for group_key, entry in payload.get("groups", {}).items():
-            self._fingerprints[group_key] = entry["spec"]
-            for start, size, counts in entry["chunks"]:
-                self._entries[(group_key, start, size)] = MsedTally(
-                    **{name: counts[name] for name in _TALLY_FIELDS}
-                )
+        kept = 0
+        damaged = False
+        for line in lines[1:]:
+            record = _decode_line(line)
+            if record is None or not self._adopt(record):
+                damaged = True
+                break
+            kept += 1
+        self._header_written = True
+        if damaged:
+            self._quarantine_and_rewrite(kept, len(lines) - 1 - kept)
+
+    def _adopt(self, record: dict) -> bool:
+        """Fold one decoded record into memory; ``False`` if malformed
+        or inconsistent (treated as damage by the loader)."""
+        try:
+            group_key = record["group"]
+            start = record["start"]
+            size = record["size"]
+            spec = record["spec"]
+            counts = record["counts"]
+            tally = MsedTally(**{name: counts[name] for name in _TALLY_FIELDS})
+        except (KeyError, TypeError):
+            return False
+        if not isinstance(group_key, str) or not isinstance(spec, str):
+            return False
+        known = self._fingerprints.get(group_key)
+        if known is not None and known != spec:
+            return False
+        self._fingerprints[group_key] = spec
+        self._entries[(group_key, start, size)] = tally
+        return True
+
+    def _refuse_legacy_or_quarantine(
+        self, raw: bytes, lines: list[bytes]
+    ) -> None:
+        """First line isn't a valid v2 header: either a legacy v1
+        whole-document journal (refuse with the version story) or
+        damage so early nothing is salvageable (quarantine, start
+        empty)."""
+        try:
+            legacy = json.loads(raw)
+        except (ValueError, UnicodeDecodeError):
+            legacy = None
+        if isinstance(legacy, dict) and "version" in legacy:
+            raise ValueError(
+                f"checkpoint journal {self.path} has version "
+                f"{legacy.get('version')!r}, expected {JOURNAL_VERSION}"
+            )
+        self._quarantine_and_rewrite(0, len(lines))
+
+    def _quarantine_and_rewrite(self, kept: int, dropped: int) -> None:
+        """Move the damaged original aside and atomically rewrite the
+        valid prefix, so the healed journal is complete on disk before
+        the run continues appending to it."""
+        corrupt_path = self.path.with_name(self.path.name + CORRUPT_SUFFIX)
+        os.replace(self.path, corrupt_path)
+        self._rewrite()
+        self.salvage = SalvageReport(
+            records_kept=kept,
+            lines_dropped=dropped,
+            corrupt_path=corrupt_path,
+        )
+
+    def _rewrite(self) -> None:
+        """Atomically write header + every in-memory record."""
+        chunks = [self._header_line().decode()]
+        for (group_key, start, size), tally in sorted(self._entries.items()):
+            chunks.append(
+                _encode_line(
+                    self._record_dict(group_key, start, size, tally)
+                ).decode()
+            )
+        atomic_write_text(self.path, "".join(chunks))
+        self._header_written = True
+
+    def _header_line(self) -> bytes:
+        return _encode_line({"version": JOURNAL_VERSION, "key": self.key})
+
+    def _record_dict(
+        self, group_key: str, start: int, size: int, tally: MsedTally
+    ) -> dict:
+        return {
+            "group": group_key,
+            "start": start,
+            "size": size,
+            "spec": self._fingerprints.get(group_key, ""),
+            "counts": {name: getattr(tally, name) for name in _TALLY_FIELDS},
+        }
 
     # -- queries --------------------------------------------------------
 
@@ -182,6 +339,19 @@ class CheckpointJournal:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def folded(self) -> dict[str, dict]:
+        """Per-group folded totals (+ chunk counts) of everything held —
+        what the partial-results report publishes."""
+        out: dict[str, dict] = {}
+        for (group_key, _start, _size), tally in sorted(self._entries.items()):
+            entry = out.setdefault(
+                group_key, {"chunks": 0, **dict.fromkeys(_TALLY_FIELDS, 0)}
+            )
+            entry["chunks"] += 1
+            for name in _TALLY_FIELDS:
+                entry[name] += getattr(tally, name)
+        return out
+
     # -- updates --------------------------------------------------------
 
     def record(
@@ -193,6 +363,9 @@ class CheckpointJournal:
         self._fingerprints[group_key] = fingerprint
         self._entries[(group_key, chunk.start, chunk.size)] = (
             MsedTally().merge(tally)
+        )
+        self._pending.append(
+            self._record_dict(group_key, chunk.start, chunk.size, tally)
         )
         self._unsaved += 1
         if (
@@ -207,24 +380,27 @@ class CheckpointJournal:
             self.save()
 
     def save(self) -> None:
-        """Atomically rewrite the journal file."""
-        groups: dict[str, dict] = {}
-        for (group_key, start, size), tally in sorted(self._entries.items()):
-            entry = groups.setdefault(
-                group_key,
-                {
-                    "spec": self._fingerprints.get(group_key, ""),
-                    "chunks": [],
-                    "folded": dict.fromkeys(_TALLY_FIELDS, 0),
-                },
-            )
-            counts = {name: getattr(tally, name) for name in _TALLY_FIELDS}
-            entry["chunks"].append([start, size, counts])
-            for name in _TALLY_FIELDS:
-                entry["folded"][name] += counts[name]
-        atomic_write_json(
-            self.path,
-            {"version": JOURNAL_VERSION, "key": self.key, "groups": groups},
-        )
+        """Append every pending record (fsync'd)."""
+        if self._torn:
+            # A chaos journal fault already "crashed" the journal: the
+            # run continues, but disk state stays frozen at the tear.
+            self._pending.clear()
+            self._unsaved = 0
+            return
+        payload = b""
+        if not self._header_written and not self.path.exists():
+            payload += self._header_line()
+        for record in self._pending:
+            line = _encode_line(record)
+            if self.chaos is not None and self.chaos.should("journal"):
+                # Tear this record mid-line — what a crash between
+                # write and fsync leaves — and go silent.
+                payload += line[: max(1, len(line) * 2 // 3)].rstrip(b"\n")
+                self._torn = True
+                break
+            payload += line
+        durable_append(self.path, payload)
+        self._header_written = True
+        self._pending.clear()
         self._unsaved = 0
         self._last_save = time.monotonic()

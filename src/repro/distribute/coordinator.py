@@ -27,10 +27,13 @@ from __future__ import annotations
 
 import os
 import socketserver
+import sys
 import threading
 import time
+from pathlib import Path
 from typing import Any, Iterable
 
+from repro.distribute.chaos import FaultPlan, resolve_chaos, spec_string
 from repro.distribute.checkpoint import CheckpointJournal, spec_fingerprint
 from repro.distribute.progress import Heartbeat
 from repro.distribute.queue import ChunkQueue
@@ -41,6 +44,7 @@ from repro.distribute.wire import (
     send_message,
     to_wire,
 )
+from repro.orchestrate.persist import atomic_write_json
 from repro.orchestrate.pool import ProgressCallback
 from repro.reliability.metrics import MsedTally
 
@@ -52,10 +56,26 @@ INTERRUPT_ENV = "REPRO_DISTRIBUTE_INTERRUPT_AFTER"
 #: a deterministic bug would otherwise bounce between workers forever.
 MAX_TASK_ATTEMPTS = 3
 
+#: The durable partial-results report a degraded run leaves next to
+#: the checkpoint journal (see :class:`DistributedDegraded`).
+PARTIAL_RESULTS_NAME = "partial-results.json"
+
 
 class DistributedInterrupted(RuntimeError):
     """Raised by the forced-interrupt fault hook after the journal is
     saved; a ``--resume`` run picks up from the checkpoint."""
+
+
+class DistributedDegraded(RuntimeError):
+    """The run could not finish — poison chunk, total fleet loss — but
+    everything already folded was preserved: the checkpoint journal is
+    flushed and a partial-results report is written next to it, so a
+    later ``--resume`` finishes the run instead of restarting it.
+    Surfaced by the CLI as exit code 4 (vs 3 for a plain interrupt)."""
+
+    def __init__(self, message: str, report_path: Path | None = None):
+        super().__init__(message)
+        self.report_path = report_path
 
 
 class _WorkerServer(socketserver.ThreadingTCPServer):
@@ -75,8 +95,12 @@ class _WorkerHandler(socketserver.StreamRequestHandler):
 
     def handle(self) -> None:
         session: DistributedSession = self.server.session
-        worker = f"{self.client_address[0]}:{self.client_address[1]}"
-        hello = recv_message(self.rfile)
+        address = f"{self.client_address[0]}:{self.client_address[1]}"
+        try:
+            hello = recv_message(self.rfile)
+        except (ValueError, UnicodeDecodeError) as exc:
+            session._protocol_error(address, exc)
+            return
         if not hello or hello.get("op") != "hello":
             return
         if hello.get("version") != PROTOCOL_VERSION:
@@ -89,14 +113,25 @@ class _WorkerHandler(socketserver.StreamRequestHandler):
                 },
             )
             return
+        # Lease keys stay unique per connection (the address part);
+        # the self-reported name makes fleet logs readable.
+        worker = f"{hello.get('worker', 'worker')}@{address}"
         send_message(self.wfile, {"op": "welcome", "version": PROTOCOL_VERSION})
-        session._worker_joined(worker)
+        session._worker_joined(worker, rejoin=bool(hello.get("rejoin")))
         try:
             while True:
-                message = recv_message(self.rfile)
-                if message is None:
-                    return  # worker went away; leases re-queue below
-                reply = session._handle_message(worker, message)
+                try:
+                    message = recv_message(self.rfile)
+                    if message is None:
+                        return  # worker went away; leases re-queue below
+                    reply = session._handle_message(worker, message)
+                except (ValueError, KeyError, TypeError) as exc:
+                    # A torn or garbage frame from one worker is that
+                    # worker's problem, not the run's: log it, drop the
+                    # connection, and let the lease queue steal back
+                    # whatever it held (the ``finally`` below).
+                    session._protocol_error(worker, exc)
+                    return
                 send_message(self.wfile, reply)
                 if reply["op"] == "shutdown":
                     return
@@ -124,6 +159,7 @@ class DistributedSession:
         heartbeat: Heartbeat | None = None,
         interrupt_after: int | None = None,
         poll_interval: float = 0.02,
+        chaos: "str | None" = None,
     ):
         self.host = host
         self.requested_port = port
@@ -136,12 +172,22 @@ class DistributedSession:
             interrupt_after = int(os.environ[INTERRUPT_ENV])
         self.interrupt_after = interrupt_after
         self.poll_interval = poll_interval
+        # Parse eagerly so a bad spec fails at construction, and arm
+        # the coordinator-scoped plan (journal tearing) if a journal is
+        # attached.  Workers get their own plans, scoped by name.
+        self.chaos_spec = resolve_chaos(chaos)
+        if (
+            self.chaos_spec is not None
+            and self.checkpoint is not None
+            and self.checkpoint.chaos is None
+        ):
+            self.checkpoint.chaos = FaultPlan(self.chaos_spec, "coordinator")
 
         self._lock = threading.Lock()
         self._queue = ChunkQueue(lease_timeout=lease_timeout)
         self._batch_event = threading.Event()
         self._batch: dict[str, Any] | None = None
-        self._attempts: dict[int, int] = {}
+        self._attempt_errors: dict[int, list[str]] = {}
         self._error: str | None = None
         self._interrupted = False
         self._folds = 0
@@ -151,6 +197,8 @@ class DistributedSession:
         self._server: _WorkerServer | None = None
         self._server_thread: threading.Thread | None = None
         self.worker_processes: list = []
+        self.rejoins = 0
+        self.protocol_errors = 0
 
     # -- lifecycle ------------------------------------------------------
 
@@ -183,7 +231,15 @@ class DistributedSession:
             from repro.distribute.local import spawn_local_workers
 
             self.worker_processes = spawn_local_workers(
-                self.host, self.port, self.local_workers, backend=self.backend
+                self.host,
+                self.port,
+                self.local_workers,
+                backend=self.backend,
+                chaos=(
+                    spec_string(self.chaos_spec)
+                    if self.chaos_spec is not None
+                    else None
+                ),
             )
         return self
 
@@ -260,7 +316,9 @@ class DistributedSession:
                 self._check_interrupt_locked()
                 if self._error is not None:
                     message, self._error = self._error, None
-                    raise RuntimeError(f"distributed run failed: {message}")
+                    raise self._degrade_locked(
+                        f"distributed run failed: {message}"
+                    )
                 stolen = self._queue.reap_expired(time.monotonic())
                 if stolen and self.heartbeat is not None:
                     print(
@@ -279,7 +337,7 @@ class DistributedSession:
                     # worker dead and none connected, waiting is forever.
                     # (A listen-mode session keeps waiting — external
                     # workers may join at any time.)
-                    raise RuntimeError(
+                    raise self._degrade_locked(
                         "all local workers exited with work outstanding; "
                         "see their stderr for the underlying failure"
                     )
@@ -329,18 +387,36 @@ class DistributedSession:
         with self._lock:
             if task_id in self._queue.completed:
                 return
-            attempts = self._attempts.get(task_id, 0) + 1
-            self._attempts[task_id] = attempts
+            errors = self._attempt_errors.setdefault(task_id, [])
+            errors.append(error)
             self._queue.requeue(task_id)
-            if attempts >= MAX_TASK_ATTEMPTS:
+            if len(errors) >= MAX_TASK_ATTEMPTS:
+                # A poison chunk: it failed on MAX_TASK_ATTEMPTS
+                # distinct leases, so retrying elsewhere won't help.
+                # Surface *every* attempt's error — they may differ,
+                # and the first one is often the honest one.
+                detail = "; ".join(
+                    f"attempt {index}: {message}"
+                    for index, message in enumerate(errors, start=1)
+                )
                 self._error = (
-                    f"task {task_id} failed on {attempts} attempts: {error}"
+                    f"task {task_id} failed on {len(errors)} attempts "
+                    f"[{detail}]"
                 )
                 self._batch_event.set()
 
-    def _worker_joined(self, worker: str) -> None:
+    def _worker_joined(self, worker: str, rejoin: bool = False) -> None:
         with self._lock:
             self._workers.add(worker)
+            if rejoin:
+                self.rejoins += 1
+                if self.heartbeat is not None:
+                    print(
+                        f"[progress] worker {worker} rejoined "
+                        f"(rejoin #{self.rejoins})",
+                        file=self.heartbeat.stream,
+                        flush=True,
+                    )
 
     def _worker_gone(self, worker: str) -> None:
         with self._lock:
@@ -353,6 +429,23 @@ class DistributedSession:
                     file=self.heartbeat.stream,
                     flush=True,
                 )
+
+    def _protocol_error(self, worker: str, exc: Exception) -> None:
+        """A torn/garbage frame: count it, log it, and let the caller
+        drop only that worker's connection (its leases re-queue)."""
+        with self._lock:
+            self.protocol_errors += 1
+            stream = (
+                self.heartbeat.stream
+                if self.heartbeat is not None
+                else sys.stderr
+            )
+            print(
+                f"[protocol] dropping worker {worker} after unparseable "
+                f"frame: {exc!r}",
+                file=stream,
+                flush=True,
+            )
 
     # -- fold (lock held) ------------------------------------------------
 
@@ -397,6 +490,45 @@ class DistributedSession:
             and self._folds >= self.interrupt_after
         ):
             self._batch_event.set()
+
+    def _degrade_locked(self, message: str) -> DistributedDegraded:
+        """Build the graceful-degradation exit (lock held): flush the
+        journal, write the durable partial-results report, and return
+        the exception for the caller to raise.  Everything folded so
+        far survives; ``--resume`` finishes the run later."""
+        report_path = None
+        if self.checkpoint is not None:
+            self.checkpoint.flush()
+            batch = self._batch or {}
+            report_path = self.checkpoint.path.parent / PARTIAL_RESULTS_NAME
+            atomic_write_json(
+                report_path,
+                {
+                    "version": 1,
+                    "key": self.checkpoint.key,
+                    "reason": message,
+                    "batch": {
+                        "done": batch.get("done", 0),
+                        "total": batch.get("total", 0),
+                    },
+                    "requeues": self._queue.requeues,
+                    "rejoins": self.rejoins,
+                    "protocol_errors": self.protocol_errors,
+                    "groups": self.checkpoint.folded(),
+                    "resumable": True,
+                },
+            )
+            message += (
+                f"; partial results + checkpoint saved under "
+                f"{report_path.parent} — re-run with --resume to finish"
+            )
+        else:
+            message += (
+                "; no checkpoint journal was configured, so completed "
+                "chunks were not preserved (use --checkpoint-dir)"
+            )
+        self._batch = None
+        return DistributedDegraded(message, report_path=report_path)
 
     def _check_interrupt_locked(self) -> None:
         if (

@@ -28,6 +28,7 @@ serve_worker(
     backend=sys.argv[3] or None,
     connect_timeout=float(sys.argv[4]),
     name=sys.argv[5],
+    chaos=sys.argv[6] or None,
 )
 """
 
@@ -61,10 +62,16 @@ def spawn_local_workers(
     count: int,
     backend: str | None = None,
     connect_timeout: float = 30.0,
+    chaos: str | None = None,
 ) -> list[LocalWorker]:
     """Start ``count`` worker subprocesses connected to ``host:port``.
 
     Returns the handles; the caller (the session) owns shutdown.
+    ``chaos`` forwards the coordinator's fault-injection spec so the
+    loopback fleet runs the same plan it would inherit from
+    ``REPRO_CHAOS`` in a real deployment (each worker's plan is scoped
+    by its ``local-N`` name, so faults land deterministically but not
+    in lockstep).
     """
     if count < 1:
         raise ValueError(f"need at least one local worker, got {count}")
@@ -81,6 +88,7 @@ def spawn_local_workers(
                 backend or "",
                 str(connect_timeout),
                 name,
+                chaos or "",
             ],
         )
         workers.append(LocalWorker(process, name))

@@ -1,4 +1,5 @@
-"""The worker side: connect, pull chunk tasks, push tallies.
+"""The worker side: connect, pull chunk tasks, push tallies — and come
+back after a network blip.
 
 ``repro-muse worker --connect HOST:PORT`` runs :func:`serve_worker`: a
 single-threaded pull loop against the coordinator's queue.  Each task
@@ -11,17 +12,33 @@ folds byte-identical results.
 
 A worker is expendable by design: if it dies mid-chunk the coordinator
 re-queues its leases, and if its chunk raises it reports the failure
-and moves on rather than wedging.  The loop ends when the coordinator
-says ``shutdown`` or goes away (EOF).
+and moves on rather than wedging.  But expendable is not the same as
+disposable — a *transient* connection failure (flaky switch, injected
+``reset`` chaos, coordinator restart) no longer ends the worker.  The
+session loop reconnects with exponential backoff + jitter and rejoins
+the fleet (``hello`` with ``rejoin: true``, which the coordinator
+counts and logs), so a blip costs one stolen lease, not a worker.  The
+loop only ends for good when the coordinator says ``shutdown``, closes
+the connection cleanly (EOF on an idle worker), or stays unreachable
+for the whole reconnect window.
+
+Fault injection: with a chaos spec active (``--chaos`` or the
+inherited ``REPRO_CHAOS``), the loop consults a deterministic
+:class:`~repro.distribute.chaos.FaultPlan` at each step — hang, crash,
+reset, torn frame, duplicated result — so the fleet's failure modes
+are reproducible test subjects instead of production surprises.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
 import os
+import random
 import socket
 import time
 
+from repro.distribute.chaos import CHAOS_CRASH_EXIT, FaultPlan, plan_for
 from repro.distribute.wire import (
     PROTOCOL_VERSION,
     from_wire,
@@ -31,22 +48,43 @@ from repro.distribute.wire import (
 )
 from repro.orchestrate.worker import run_chunk_task
 
+#: How long a worker that lost its connection keeps trying to rejoin
+#: before concluding the coordinator is gone and exiting cleanly.
+RECONNECT_TIMEOUT = 10.0
+
+
+class _ChaosReset(ConnectionError):
+    """An injected connection reset (chaos); handled like a real one."""
+
 
 def _connect_with_retry(
     host: str, port: int, timeout: float
 ) -> socket.socket:
     """Retry until the coordinator is listening (workers often start
-    first, e.g. under a process supervisor)."""
+    first, e.g. under a process supervisor), with exponential backoff
+    plus jitter so a rejoining fleet doesn't reconnect in lockstep.
+
+    Raises :class:`ConnectionError` carrying the *last* underlying
+    ``OSError`` once the deadline passes — "refused for 10s" and "no
+    route to host" need different fixes, so the timeout must not eat
+    the evidence.
+    """
     deadline = time.monotonic() + timeout
     delay = 0.05
     while True:
         try:
             return socket.create_connection((host, port), timeout=30.0)
-        except OSError:
-            if time.monotonic() >= deadline:
-                raise
-            time.sleep(delay)
-            delay = min(delay * 2, 1.0)
+        except OSError as exc:
+            now = time.monotonic()
+            if now >= deadline:
+                raise ConnectionError(
+                    f"coordinator at {host}:{port} unreachable for "
+                    f"{timeout:.1f}s (last error: {exc!r})"
+                ) from exc
+            # Full jitter on an exponential ceiling: sleep in
+            # [0.5, 1.5) * delay, capped at the remaining budget.
+            time.sleep(min(delay * (0.5 + random.random()), deadline - now))
+            delay = min(delay * 2, 2.0)
 
 
 def _with_backend(task, backend: str | None):
@@ -62,69 +100,131 @@ def _with_backend(task, backend: str | None):
     )
 
 
+def _send_torn_frame(wfile, result: dict) -> None:
+    """Write a deliberately unparseable prefix of ``result`` (chaos
+    ``torn``): the coordinator must treat it as a protocol error, not
+    a crash."""
+    line = json.dumps(result, separators=(",", ":")).encode()
+    wfile.write(line[: max(8, len(line) // 3)] + b"\xff\xfe\n")
+    wfile.flush()
+
+
+def _serve_session(
+    sock: socket.socket,
+    worker_name: str,
+    backend: str | None,
+    plan: FaultPlan | None,
+    rejoin: bool,
+    executed: list,
+) -> bool:
+    """One connection's pull loop.
+
+    Returns ``True`` on a clean end (shutdown op, or EOF while idle —
+    the coordinator finished); raises ``ConnectionError`` on an abrupt
+    loss so the caller can rejoin.  ``executed`` is a single-element
+    counter that survives the exception path.
+    """
+    sock.settimeout(None)
+    rfile = sock.makefile("rb")
+    wfile = sock.makefile("wb")
+    send_message(
+        wfile,
+        {
+            "op": "hello",
+            "version": PROTOCOL_VERSION,
+            "worker": worker_name,
+            "rejoin": rejoin,
+        },
+    )
+    welcome = recv_message(rfile)
+    if not welcome or welcome.get("op") != "welcome":
+        raise RuntimeError(
+            f"coordinator refused the connection: {welcome!r}"
+        )
+    while True:
+        send_message(wfile, {"op": "next"})
+        reply = recv_message(rfile)
+        if reply is None or reply.get("op") == "shutdown":
+            return True
+        if reply.get("op") == "idle":
+            time.sleep(float(reply.get("delay", 0.05)))
+            continue
+        if reply.get("op") != "task":
+            raise RuntimeError(f"unexpected coordinator reply: {reply!r}")
+        task = _with_backend(from_wire(reply["task"]), backend)
+        if plan is not None:
+            if plan.should("hang"):  # straggle past the lease timeout
+                time.sleep(plan.spec.hang_seconds)
+            if plan.should("crash"):  # die holding the lease
+                os._exit(CHAOS_CRASH_EXIT)
+            if plan.should("reset"):  # blip before reporting
+                raise _ChaosReset("chaos: connection reset before result")
+        try:
+            _, tally = run_chunk_task(task)
+        except Exception as exc:  # report, don't die: the chunk may
+            # succeed on a worker with different capabilities.
+            send_message(
+                wfile,
+                {"op": "failed", "id": reply["id"], "error": repr(exc)},
+            )
+        else:
+            executed[0] += 1
+            result = {
+                "op": "result",
+                "id": reply["id"],
+                "tally": to_wire(tally),
+            }
+            if plan is not None and plan.should("torn"):
+                _send_torn_frame(wfile, result)
+                raise _ChaosReset("chaos: torn result frame")
+            send_message(wfile, result)
+            if plan is not None and plan.should("dup"):
+                send_message(wfile, result)  # exactly-once fold drops it
+                if recv_message(rfile) is None:
+                    raise ConnectionError("coordinator went away mid-ack")
+        ack = recv_message(rfile)
+        if ack is None:
+            raise ConnectionError("coordinator went away mid-ack")
+
+
 def serve_worker(
     host: str,
     port: int,
     backend: str | None = None,
     connect_timeout: float = 10.0,
     name: str | None = None,
+    chaos: "str | None" = None,
+    reconnect_timeout: float = RECONNECT_TIMEOUT,
 ) -> int:
     """Serve one worker until the coordinator shuts the run down.
 
     Returns the number of chunks executed (handy for tests and logs).
+    ``chaos`` (a spec string; defaults to ``$REPRO_CHAOS``) arms
+    deterministic fault injection scoped to this worker's name.
     """
-    sock = _connect_with_retry(host, port, connect_timeout)
-    executed = 0
-    try:
-        sock.settimeout(None)
-        rfile = sock.makefile("rb")
-        wfile = sock.makefile("wb")
-        send_message(
-            wfile,
-            {
-                "op": "hello",
-                "version": PROTOCOL_VERSION,
-                "worker": name or f"pid-{os.getpid()}",
-            },
-        )
-        welcome = recv_message(rfile)
-        if not welcome or welcome.get("op") != "welcome":
-            raise RuntimeError(
-                f"coordinator refused the connection: {welcome!r}"
+    worker_name = name or f"pid-{os.getpid()}"
+    plan = plan_for(chaos, worker_name)
+    executed = [0]
+    rejoin = False
+    while True:
+        try:
+            sock = _connect_with_retry(
+                host, port, reconnect_timeout if rejoin else connect_timeout
             )
-        while True:
-            send_message(wfile, {"op": "next"})
-            reply = recv_message(rfile)
-            if reply is None or reply.get("op") == "shutdown":
-                return executed
-            if reply.get("op") == "idle":
-                time.sleep(float(reply.get("delay", 0.05)))
-                continue
-            if reply.get("op") != "task":
-                raise RuntimeError(f"unexpected coordinator reply: {reply!r}")
-            task = _with_backend(from_wire(reply["task"]), backend)
-            try:
-                _, tally = run_chunk_task(task)
-            except Exception as exc:  # report, don't die: the chunk may
-                # succeed on a worker with different capabilities.
-                send_message(
-                    wfile,
-                    {"op": "failed", "id": reply["id"], "error": repr(exc)},
-                )
-            else:
-                executed += 1
-                send_message(
-                    wfile,
-                    {
-                        "op": "result",
-                        "id": reply["id"],
-                        "tally": to_wire(tally),
-                    },
-                )
-            ack = recv_message(rfile)
-            if ack is None:
-                return executed
-    except (ConnectionError, BrokenPipeError):
-        return executed  # coordinator went away: a worker just stops
-    finally:
-        sock.close()
+        except OSError:
+            if rejoin:
+                # The coordinator stayed gone past the reconnect
+                # window: the run is over (or moved); stop quietly.
+                return executed[0]
+            raise
+        try:
+            finished = _serve_session(
+                sock, worker_name, backend, plan, rejoin, executed
+            )
+        except (ConnectionError, BrokenPipeError, OSError):
+            finished = False  # abrupt loss: back off and rejoin
+        finally:
+            sock.close()
+        if finished:
+            return executed[0]
+        rejoin = True

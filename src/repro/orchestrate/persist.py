@@ -51,3 +51,20 @@ def atomic_write_json(path: str | Path, payload: Any, indent: int = 2) -> None:
     """
     text = json.dumps(payload, indent=indent) + "\n"
     atomic_write_text(path, text)
+
+
+def durable_append(path: str | Path, data: bytes) -> None:
+    """Append ``data`` to ``path`` and fsync before returning.
+
+    Appends are **not** atomic the way :func:`atomic_write_text` is: a
+    crash mid-append can leave a torn tail.  Callers must therefore be
+    able to recognise and discard a damaged suffix on load — the
+    checkpoint journal does this with per-record CRCs
+    (:mod:`repro.distribute.checkpoint`).  What the fsync buys is
+    ordering: once this returns, every *previous* record is on disk,
+    so at most the final in-flight record can ever be torn.
+    """
+    with open(path, "ab") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())

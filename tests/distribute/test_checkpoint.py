@@ -1,12 +1,16 @@
-"""Checkpoint journal: atomic persistence, resume gating, fingerprints."""
+"""Checkpoint journal: durable appends, salvage, resume gating,
+fingerprints."""
 
 import json
 
 import pytest
 
 from repro.distribute.checkpoint import (
+    CORRUPT_SUFFIX,
     JOURNAL_NAME,
+    JOURNAL_VERSION,
     CheckpointJournal,
+    _decode_line,
     spec_fingerprint,
 )
 from repro.orchestrate.plan import Chunk
@@ -109,35 +113,146 @@ class TestSpecFingerprint:
 
 
 class TestDurability:
-    def test_saved_file_is_always_complete_json(self, tmp_path):
-        """Every on-disk state parses: the journal is never observable
-        mid-write (atomic rename)."""
+    def test_every_line_is_crc_valid_json(self, tmp_path):
+        """Every append leaves a file of individually verifiable lines:
+        a header naming the version + key, then one record per chunk."""
         journal = CheckpointJournal.open(tmp_path, KEY)
         for index in range(10):
             journal.record(
                 index % 2, Chunk(index * 8, 8), tally(silent=index), FP
             )
-            payload = json.loads(journal.path.read_text())
-            assert payload["version"] == 1
-            total = sum(
-                len(group["chunks"]) for group in payload["groups"].values()
-            )
-            assert total == index + 1
+            lines = journal.path.read_bytes().splitlines()
+            decoded = [_decode_line(line) for line in lines]
+            assert all(record is not None for record in decoded)
+            assert decoded[0] == {"version": JOURNAL_VERSION, "key": KEY}
+            assert len(decoded) == index + 2  # header + one per record
 
     def test_folded_summary_matches_chunk_sum(self, tmp_path):
         journal = CheckpointJournal.open(tmp_path, KEY)
         journal.record(0, Chunk(0, 8), tally(silent=3), FP)
         journal.record(0, Chunk(8, 8), tally(miscorrected=2), FP)
-        payload = json.loads(journal.path.read_text())
-        folded = payload["groups"]["0"]["folded"]
+        folded = journal.folded()[json.dumps(0)]
+        assert folded["chunks"] == 2
         assert folded["trials"] == 5
         assert folded["silent"] == 3
         assert folded["miscorrected"] == 2
 
-    def test_save_every_batches_rewrites(self, tmp_path):
+    def test_save_every_batches_appends(self, tmp_path):
         journal = CheckpointJournal.open(tmp_path, KEY, save_every=3)
         journal.record(0, Chunk(0, 8), tally(silent=1), FP)
         journal.record(0, Chunk(8, 8), tally(silent=1), FP)
         assert not journal.path.exists()  # below the batch threshold
         journal.record(0, Chunk(16, 8), tally(silent=1), FP)
         assert journal.path.exists()
+        assert len(journal.path.read_bytes().splitlines()) == 4
+
+    def test_appends_do_not_rewrite_earlier_lines(self, tmp_path):
+        """Persistence is O(1) per record: old lines stay byte-stable."""
+        journal = CheckpointJournal.open(tmp_path, KEY)
+        journal.record(0, Chunk(0, 8), tally(silent=1), FP)
+        first = journal.path.read_bytes()
+        journal.record(0, Chunk(8, 8), tally(silent=2), FP)
+        assert journal.path.read_bytes().startswith(first)
+
+
+def _journal_with_records(tmp_path, count=4):
+    journal = CheckpointJournal.open(tmp_path, KEY)
+    for index in range(count):
+        journal.record(0, Chunk(index * 8, 8), tally(silent=index + 1), FP)
+    return journal
+
+
+class TestSalvage:
+    """A damaged journal heals: keep the valid prefix, quarantine the
+    evidence, re-simulate only what the damage lost."""
+
+    def test_torn_final_line_drops_only_that_record(self, tmp_path):
+        _journal_with_records(tmp_path, count=4)
+        path = tmp_path / JOURNAL_NAME
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 10])  # tear the last append
+
+        journal = CheckpointJournal.open(tmp_path, KEY, resume=True)
+        assert len(journal) == 3
+        assert journal.lookup(0, Chunk(0, 8), FP).silent == 1
+        assert journal.lookup(0, Chunk(24, 8), FP) is None  # the torn one
+        assert journal.salvage is not None
+        assert journal.salvage.records_kept == 3
+        assert journal.salvage.lines_dropped == 1
+
+    def test_crc_flip_invalidates_that_line(self, tmp_path):
+        """Bit rot that still parses as JSON is caught by the CRC."""
+        _journal_with_records(tmp_path, count=3)
+        path = tmp_path / JOURNAL_NAME
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[2] = lines[2].replace(b'"silent":2', b'"silent":9')
+        path.write_bytes(b"".join(lines))
+
+        journal = CheckpointJournal.open(tmp_path, KEY, resume=True)
+        # Prefix semantics: everything from the damaged line on is gone.
+        assert len(journal) == 1
+        assert journal.lookup(0, Chunk(0, 8), FP).silent == 1
+
+    def test_garbage_interior_line_keeps_prefix(self, tmp_path):
+        _journal_with_records(tmp_path, count=3)
+        path = tmp_path / JOURNAL_NAME
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[2] = b"\xff\xfenot json at all\n"
+        path.write_bytes(b"".join(lines))
+
+        journal = CheckpointJournal.open(tmp_path, KEY, resume=True)
+        assert len(journal) == 1
+        assert journal.salvage.lines_dropped == 2
+
+    def test_quarantine_preserves_damaged_original(self, tmp_path):
+        _journal_with_records(tmp_path, count=2)
+        path = tmp_path / JOURNAL_NAME
+        damaged = path.read_bytes()[:-7]
+        path.write_bytes(damaged)
+
+        journal = CheckpointJournal.open(tmp_path, KEY, resume=True)
+        corrupt = path.with_name(JOURNAL_NAME + CORRUPT_SUFFIX)
+        assert journal.salvage.corrupt_path == corrupt
+        assert corrupt.read_bytes() == damaged
+        # The healed journal on disk is fully valid again...
+        lines = path.read_bytes().splitlines()
+        assert all(_decode_line(line) is not None for line in lines)
+        # ...and appending + reopening works with no residual damage.
+        journal.record(0, Chunk(8, 8), tally(silent=7), FP)
+        reopened = CheckpointJournal.open(tmp_path, KEY, resume=True)
+        assert reopened.salvage is None
+        assert len(reopened) == 2
+
+    def test_salvaged_resume_refolds_byte_identically(self, tmp_path):
+        """The healed prefix plus re-simulated lost chunks folds to the
+        same totals as an undamaged journal."""
+        full = _journal_with_records(tmp_path, count=4).folded()
+        path = tmp_path / JOURNAL_NAME
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 5])
+
+        journal = CheckpointJournal.open(tmp_path, KEY, resume=True)
+        # The coordinator's resume loop: misses recompute and re-record.
+        for index in range(4):
+            chunk = Chunk(index * 8, 8)
+            if journal.lookup(0, chunk, FP) is None:
+                journal.record(0, chunk, tally(silent=index + 1), FP)
+        assert journal.folded() == full
+
+    def test_legacy_v1_journal_refused_with_version_error(self, tmp_path):
+        """A pre-append-only whole-document journal names its version in
+        the refusal instead of being silently quarantined."""
+        path = tmp_path / JOURNAL_NAME
+        path.write_text(
+            json.dumps({"version": 1, "key": KEY, "groups": {}}, indent=2)
+        )
+        with pytest.raises(ValueError, match="version"):
+            CheckpointJournal.open(tmp_path, KEY, resume=True)
+
+    def test_unrecognizable_file_quarantines_and_starts_empty(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        path.write_bytes(b"\x00\x01\x02 total garbage\nmore garbage\n")
+        journal = CheckpointJournal.open(tmp_path, KEY, resume=True)
+        assert len(journal) == 0
+        assert journal.salvage.records_kept == 0
+        assert journal.salvage.corrupt_path.exists()

@@ -179,6 +179,68 @@ class TestGuards:
         assert run(args) == 2
         assert "coordinator" in capsys.readouterr().err
 
+    def test_chaos_requires_distribute(self, capsys, monkeypatch):
+        from repro.distribute import CHAOS_ENV
+
+        monkeypatch.delenv(CHAOS_ENV, raising=False)
+        args = build_parser().parse_args(
+            ["table4", "--chaos", "seed=1,reset=0.1"]
+        )
+        assert run(args) == 2
+        assert "--chaos" in capsys.readouterr().err
+        # A refused invocation must not leak the spec into the process
+        # environment (it would silently arm later runs).
+        assert CHAOS_ENV not in __import__("os").environ
+
+    def test_bad_chaos_spec_rejected(self, capsys):
+        args = build_parser().parse_args(
+            ["table4", "--distribute", "local:1", "--chaos", "bogus=0.5"]
+        )
+        assert run(args) == 2
+        assert "--chaos" in capsys.readouterr().err
+
+
+class TestChaosRuns:
+    """--chaos end to end: parity under faults, exit 4 on degradation."""
+
+    def test_chaos_run_output_identical_to_clean_run(
+        self, capsys, monkeypatch
+    ):
+        from repro.distribute import CHAOS_ENV
+
+        monkeypatch.setenv(CHAOS_ENV, "")  # restored after the test
+        base = ["table4", "--trials", "60", "--chunk-size", "30",
+                "--distribute", "local:1"]
+        assert run(build_parser().parse_args(base)) == 0
+        clean = capsys.readouterr().out
+        assert run(
+            build_parser().parse_args(
+                base + ["--chaos", "seed=3,dup=0.5,reset=0.2"]
+            )
+        ) == 0
+        assert capsys.readouterr().out == clean
+
+    def test_degraded_run_exits_4_and_resumes(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.distribute import CHAOS_ENV, PARTIAL_RESULTS_NAME
+
+        monkeypatch.setenv(CHAOS_ENV, "")
+        base = ["table4", "--trials", "60", "--chunk-size", "30",
+                "--distribute", "local:2", "--checkpoint-dir",
+                str(tmp_path)]
+        # Every worker crashes on its first task: total fleet loss.
+        args = build_parser().parse_args(base + ["--chaos", "crash=@1"])
+        assert run(args) == 4
+        err = capsys.readouterr().err
+        assert "degraded" in err
+        assert "--resume" in err
+        assert (tmp_path / PARTIAL_RESULTS_NAME).exists()
+        # A chaos-free resume finishes the run.
+        monkeypatch.setenv(CHAOS_ENV, "")
+        assert run(build_parser().parse_args(base + ["--resume"])) == 0
+        assert "measured vs paper" in capsys.readouterr().out
+
 
 class TestProgressOutputRegression:
     """Satellite: default output unchanged; heartbeats are stderr-only."""
