@@ -21,6 +21,7 @@ from pathlib import Path
 
 import pytest
 
+from artifacts import merge_artifact
 from repro.distribute import DistributedSession
 from repro.engine import resolve_backend
 from repro.reliability.monte_carlo import build_table_iv
@@ -106,4 +107,74 @@ def test_distributed_table_iv_parity_and_scaling():
             indent=2,
         )
         + "\n"
+    )
+
+
+def test_wire_memo_encoding_bench():
+    """Micro-bench the spec-fragment encode memo on the lease hot path.
+
+    A big run dispatches thousands of leases whose ``spec`` is one of
+    ~10 values; ``to_wire`` memoises those subtrees, so only the
+    per-lease ``Chunk``/group fields are re-walked.  Runs *after* the
+    parity bench (which rewrites the artifact wholesale) and merges its
+    numbers in.
+    """
+    from repro.core.codes import muse_80_69
+    from repro.distribute import wire
+    from repro.orchestrate.plan import Chunk
+    from repro.orchestrate.worker import ChunkTask, CodeRef
+
+    from repro.reliability.monte_carlo import MuseMsedSimulator
+
+    spec = MuseMsedSimulator(
+        muse_80_69(), code_ref=CodeRef("repro.core.codes:muse_80_69")
+    )._task_spec()
+    tasks = [
+        ChunkTask("bench", spec, Chunk(i * 4096, 4096), 12345)
+        for i in range(2_000)
+    ]
+
+    def encode_all() -> int:
+        return sum(len(json.dumps(wire.to_wire(task))) for task in tasks)
+
+    def best_of(runs: int, *, memoised: bool) -> float:
+        best = float("inf")
+        for _ in range(runs):
+            wire._ENCODED_MEMO.clear()
+            start = time.perf_counter()
+            if memoised:
+                encode_all()
+            else:
+                for task in tasks:  # clearing per task forces a full re-walk
+                    wire._ENCODED_MEMO.clear()
+                    json.dumps(wire.to_wire(task))
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    # Identical bytes either way — the memo is invisible on the wire.
+    wire._ENCODED_MEMO.clear()
+    cold_payload = json.dumps(wire.to_wire(tasks[0]))
+    warm_payload = json.dumps(wire.to_wire(tasks[0]))
+    assert cold_payload == warm_payload
+
+    cold = best_of(3, memoised=False)
+    warm = best_of(3, memoised=True)
+    assert warm <= cold * 1.10, (
+        f"memoised encode slower than fresh encode: {warm:.4f}s vs {cold:.4f}s"
+    )
+
+    merge_artifact(
+        ARTIFACT,
+        {
+            "wire_memo": {
+                "messages": len(tasks),
+                "fresh_encode_seconds": round(cold, 4),
+                "memoised_encode_seconds": round(warm, 4),
+                "speedup": round(cold / warm, 2) if warm else None,
+                "note": (
+                    "per-lease ChunkTask encode with the shared spec "
+                    "subtree memoised vs re-walked every message"
+                ),
+            }
+        },
     )

@@ -8,6 +8,9 @@ Examples
     repro-muse table4 --trials 1000000 --jobs 8   # rare-tail Table IV
     repro-muse table4 --chunk-size 65536 --seed 7 # streamed, reseeded
     repro-muse table4 --adaptive --ci-target 0.1  # stop when CIs tighten
+    repro-muse table4 --adaptive --trial-budget 200000 --cache-dir cache \\
+        # campaign-scheduled sweep: budget goes to the loosest CIs,
+        # completed cells fold from the cross-run cache with 0 trials
     repro-muse figure6 --quick             # 3-benchmark, short-trace preview
     repro-muse all --jobs 4 --results-dir results  # concurrent sweep
     repro-muse table4 --distribute local:4 # loopback coordinator + 4 workers
@@ -141,6 +144,27 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "adaptive trial ceiling per design point (default 1000000); "
             "points whose interval never tightens stop here"
+        ),
+    )
+    parser.add_argument(
+        "--trial-budget", type=int, default=None,
+        help=(
+            "campaign-wide trial budget for --adaptive sweeps: each "
+            "round's trials go to the design points furthest from "
+            "--ci-target (priority = CI half-width / goal) until the "
+            "budget is spent; allocation is a pure function of the "
+            "folded tallies, so results stay byte-identical across "
+            "--jobs/--chunk-size/--distribute"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help=(
+            "cross-run result cache keyed by (seed stream, spec "
+            "fingerprint): chunks computed by any earlier run fold "
+            "straight from disk with zero new trials (requires "
+            "--adaptive or --distribute; backend-portable, since all "
+            "backends tally byte-identically)"
         ),
     )
     parser.add_argument(
@@ -295,6 +319,17 @@ def experiment_kwargs(args: argparse.Namespace) -> dict[str, dict]:
                 # ceiling, cap the adaptive run at the quick budget
                 # instead of the 10^6-trial default.
                 kw["max_trials"] = kw["trials"]
+            if args.trial_budget is not None:
+                kw["trial_budget"] = args.trial_budget
+        if args.cache_dir is not None and (
+            (args.adaptive and name in ADAPTIVE_EXPERIMENTS)
+            or (args.distribute is not None and name in DISTRIBUTED_EXPERIMENTS)
+        ):
+            # One shared directory is safe (and useful) across
+            # experiments: cells are keyed by (stream key, spec
+            # fingerprint), so different experiments can never collide
+            # but identical design points are shared.
+            kw["cache_dir"] = args.cache_dir
         return kw
 
     trace = {"mem_ops": mem_ops}
@@ -447,6 +482,31 @@ def run(args: argparse.Namespace) -> int:
         print(
             "error: --trials does not apply with --adaptive; "
             "use --max-trials for the per-point ceiling",
+            file=sys.stderr,
+        )
+        return 2
+    if args.trial_budget is not None and not args.adaptive:
+        # The campaign scheduler only runs in adaptive mode; a budget on
+        # a fixed-trial run would silently do nothing.
+        print(
+            "error: --trial-budget requires --adaptive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.trial_budget is not None and args.trial_budget < 1:
+        print(
+            "error: --trial-budget must be at least 1",
+            file=sys.stderr,
+        )
+        return 2
+    if args.cache_dir is not None and not (
+        args.adaptive or args.distribute is not None
+    ):
+        # The cache is wired through the campaign runner and the
+        # coordinator; a plain fixed-budget in-process run never
+        # consults it, so refuse rather than silently not caching.
+        print(
+            "error: --cache-dir requires --adaptive or --distribute",
             file=sys.stderr,
         )
         return 2

@@ -51,6 +51,10 @@ from repro.distribute.checkpoint import (
     CheckpointJournal,
     SalvageReport,
 )
+
+# cache must import before coordinator: both sit on checkpoint, and the
+# cache is what the coordinator's ``cache=`` parameter duck-types.
+from repro.distribute.cache import ResultCache
 from repro.distribute.coordinator import (
     INTERRUPT_ENV,
     PARTIAL_RESULTS_NAME,
@@ -85,6 +89,7 @@ __all__ = [
     "JOURNAL_NAME",
     "PARTIAL_RESULTS_NAME",
     "PROTOCOL_VERSION",
+    "ResultCache",
     "SalvageReport",
     "execution_context",
     "from_wire",
@@ -138,11 +143,14 @@ def session_from_spec(
     lease_timeout: float = 60.0,
     interrupt_after: int | None = None,
     chaos: str | None = None,
+    cache_dir: str | None = None,
 ) -> DistributedSession:
     """Build (but do not open) the session a ``--distribute`` run uses.
 
     ``chaos`` (defaulting to ``$REPRO_CHAOS``) arms deterministic fault
     injection on the coordinator *and* the spawned loopback workers.
+    ``cache_dir`` attaches the cross-run :class:`ResultCache`: completed
+    cells fold from disk with zero new trials.
     """
     kwargs = parse_distribute(spec)
     checkpoint = None
@@ -159,6 +167,7 @@ def session_from_spec(
     return DistributedSession(
         backend=backend,
         checkpoint=checkpoint,
+        cache=ResultCache(cache_dir) if cache_dir is not None else None,
         lease_timeout=lease_timeout,
         heartbeat=Heartbeat() if progress else None,
         interrupt_after=interrupt_after,
@@ -178,6 +187,7 @@ def execution_context(
     progress: bool = False,
     lease_timeout: float = 60.0,
     chaos: str | None = None,
+    cache_dir: str | None = None,
 ) -> Iterator[tuple]:
     """The one experiment-side entry point: ``(executor, progress_cb)``.
 
@@ -186,7 +196,10 @@ def execution_context(
     it, yields no executor and — when ``progress`` is on — the
     single-host :class:`ChunkProgress` printer.  Checkpoints belong to
     the coordinator, so ``checkpoint_dir`` without ``distribute``
-    refuses loudly instead of silently not journaling.
+    refuses loudly instead of silently not journaling.  ``cache_dir``
+    rides with the session here; in-process runs attach their cache in
+    the campaign runner instead (see
+    :func:`repro.reliability.monte_carlo.run_design_points_adaptive`).
     """
     if distribute is None:
         if checkpoint_dir is not None:
@@ -205,6 +218,7 @@ def execution_context(
         progress=progress,
         lease_timeout=lease_timeout,
         chaos=chaos,
+        cache_dir=cache_dir,
     )
     with session:
         yield session, None

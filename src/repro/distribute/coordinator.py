@@ -132,6 +132,12 @@ class _WorkerHandler(socketserver.StreamRequestHandler):
                     # whatever it held (the ``finally`` below).
                     session._protocol_error(worker, exc)
                     return
+                if reply is None:
+                    # Results and failures are one-way in the pipelined
+                    # protocol: the worker's next lease request is
+                    # already in this socket's buffer, so an ack would
+                    # only desynchronise the stream.
+                    continue
                 send_message(self.wfile, reply)
                 if reply["op"] == "shutdown":
                     return
@@ -155,6 +161,7 @@ class DistributedSession:
         local_workers: int = 0,
         backend: str | None = None,
         checkpoint: CheckpointJournal | None = None,
+        cache: Any | None = None,
         lease_timeout: float = 60.0,
         heartbeat: Heartbeat | None = None,
         interrupt_after: int | None = None,
@@ -166,6 +173,10 @@ class DistributedSession:
         self.local_workers = local_workers
         self.backend = backend
         self.checkpoint = checkpoint
+        #: Cross-run result cache (:class:`repro.distribute.cache.ResultCache`):
+        #: consulted after the checkpoint journal, fed by every computed
+        #: fold, flushed at barriers and close.
+        self.cache = cache
         self.lease_timeout = lease_timeout
         self.heartbeat = heartbeat
         if interrupt_after is None and os.environ.get(INTERRUPT_ENV):
@@ -258,6 +269,8 @@ class DistributedSession:
             self._server = None
         if self.checkpoint is not None:
             self.checkpoint.flush()
+        if self.cache is not None:
+            self.cache.flush()
 
     def __enter__(self) -> "DistributedSession":
         return self.open()
@@ -303,6 +316,18 @@ class DistributedSession:
                     if self.checkpoint is not None
                     else None
                 )
+                if cached is None and self.cache is not None:
+                    # The cross-run cache answers what this run's
+                    # journal cannot; a hit still lands in the journal
+                    # so the run's own record stays complete.
+                    cached = self.cache.lookup(task.key, task.spec, task.chunk)
+                    if cached is not None and self.checkpoint is not None:
+                        self.checkpoint.record(
+                            task.group,
+                            task.chunk,
+                            cached,
+                            spec_fingerprint(task.spec),
+                        )
                 if cached is not None:
                     replayed.append((task, cached))
                 else:
@@ -348,20 +373,22 @@ class DistributedSession:
                 # The batch barrier is a durability point: anything the
                 # journal's rate limit held back lands now.
                 self.checkpoint.flush()
+            if self.cache is not None:
+                self.cache.flush()
         return results
 
     # -- message handling (worker threads) ------------------------------
 
-    def _handle_message(self, worker: str, message: dict) -> dict:
+    def _handle_message(self, worker: str, message: dict) -> dict | None:
         op = message.get("op")
         if op == "next":
             return self._next_task(worker)
         if op == "result":
             self._take_result(message["id"], from_wire(message["tally"]))
-            return {"op": "ok"}
+            return None  # one-way: the worker never waits on an ack
         if op == "failed":
             self._take_failure(message["id"], message.get("error", "unknown"))
-            return {"op": "ok"}
+            return None
         return {"op": "error", "message": f"unknown op {op!r}"}
 
     def _next_task(self, worker: str) -> dict:
@@ -466,6 +493,8 @@ class DistributedSession:
                 self.checkpoint.record(
                     task.group, task.chunk, tally, spec_fingerprint(task.spec)
                 )
+            if self.cache is not None:
+                self.cache.record(task.key, task.spec, task.chunk, tally)
         batch["done"] += 1
         stats = batch["per_group"][task.group]
         stats[0] += 1

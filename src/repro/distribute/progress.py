@@ -82,3 +82,30 @@ class Heartbeat:
             file=self.stream,
             flush=True,
         )
+
+    def allocation(
+        self,
+        round_no: int,
+        entries: "list[tuple[Any, int, int, float, float]]",
+    ) -> None:
+        """One campaign allocation round: where the next trials go.
+
+        ``entries`` is ``(group, allocated, total_trials, ci_half_width,
+        priority)`` per point that received trials.  Allocation rounds
+        are rare (a handful per campaign) and are the scheduler's whole
+        observable story, so they bypass the throttle.
+        """
+        elapsed = time.perf_counter() - self._started
+        print(
+            f"[campaign] round {round_no}: {len(entries)} point(s) "
+            f"allocated, elapsed {elapsed:.1f}s",
+            file=self.stream,
+            flush=True,
+        )
+        for group, allocated, total, half, priority in entries:
+            print(
+                f"[campaign]   point {group}: +{allocated} trials "
+                f"(-> {total}) ci-half {half:.3g} priority {priority:.3g}",
+                file=self.stream,
+                flush=True,
+            )

@@ -54,21 +54,55 @@ def register_wire_type(cls: type) -> type:
 for _cls in (Chunk, CodeRef, MuseSimSpec, RsSimSpec, ChunkTask, MsedTally):
     register_wire_type(_cls)
 
+#: Frozen, value-hashable spec fragments whose encoded tree is worth
+#: memoising: a big run dispatches thousands of leases whose ``spec``
+#: is one of ~10 values, so re-walking the same dataclass tree per
+#: lease is pure overhead on the coordinator's hot path.  ``ChunkTask``
+#: / ``Chunk`` / ``MsedTally`` stay out — they differ per message.
+_MEMO_TYPES: tuple[type, ...] = (CodeRef, MuseSimSpec, RsSimSpec)
+
+#: value -> encoded tree.  Entries are shared between messages and
+#: must be treated as read-only by callers (``send_message`` only
+#: serialises them).  Bounded so a pathological caller churning specs
+#: cannot grow it without limit.
+_ENCODED_MEMO: dict[Any, Any] = {}
+_ENCODED_MEMO_LIMIT = 512
+
+
+def _encode_dataclass(obj: Any) -> dict:
+    name = type(obj).__name__
+    if name not in _WIRE_TYPES:
+        raise TypeError(
+            f"{name} is not wire-registered; call register_wire_type "
+            f"before shipping it to workers"
+        )
+    payload = {_TYPE_TAG: name}
+    for field in fields(obj):
+        payload[field.name] = to_wire(getattr(obj, field.name))
+    return payload
+
 
 def to_wire(obj: Any) -> Any:
     """A JSON-ready tree for ``obj`` (registered dataclasses, tuples,
-    and JSON scalars/containers, recursively)."""
+    and JSON scalars/containers, recursively).
+
+    Spec fragments (:data:`_MEMO_TYPES`) are encoded once and the tree
+    reused across messages — the returned subtree is shared, so wire
+    trees are read-only by contract.
+    """
     if is_dataclass(obj) and not isinstance(obj, type):
-        name = type(obj).__name__
-        if name not in _WIRE_TYPES:
-            raise TypeError(
-                f"{name} is not wire-registered; call register_wire_type "
-                f"before shipping it to workers"
-            )
-        payload = {_TYPE_TAG: name}
-        for field in fields(obj):
-            payload[field.name] = to_wire(getattr(obj, field.name))
-        return payload
+        if isinstance(obj, _MEMO_TYPES):
+            try:
+                held = _ENCODED_MEMO.get(obj)
+            except TypeError:  # unhashable field snuck in: encode fresh
+                return _encode_dataclass(obj)
+            if held is None:
+                held = _encode_dataclass(obj)
+                if len(_ENCODED_MEMO) >= _ENCODED_MEMO_LIMIT:
+                    _ENCODED_MEMO.clear()
+                _ENCODED_MEMO[obj] = held
+            return held
+        return _encode_dataclass(obj)
     if isinstance(obj, tuple):
         return {_TUPLE_TAG: [to_wire(item) for item in obj]}
     if isinstance(obj, list):
@@ -108,6 +142,21 @@ def from_wire(payload: Any) -> Any:
 def send_message(stream: BinaryIO, message: dict) -> None:
     """Write one message as a single JSON line and flush it."""
     stream.write(json.dumps(message, separators=(",", ":")).encode() + b"\n")
+    stream.flush()
+
+
+def send_messages(stream: BinaryIO, messages: list[dict]) -> None:
+    """Write several messages as one buffered payload, one flush.
+
+    The pipelined worker loop sends ``[previous result, next lease
+    request]`` back-to-back; batching them into a single write (one
+    syscall on a socket file) is what makes the prefetch free.
+    """
+    payload = b"".join(
+        json.dumps(message, separators=(",", ":")).encode() + b"\n"
+        for message in messages
+    )
+    stream.write(payload)
     stream.flush()
 
 

@@ -8,7 +8,11 @@ PR-3 per-worker cache (:func:`repro.orchestrate.worker.runner_for` via
 :func:`run_chunk_task`), its chunk executed with whatever decode
 backend this host has, and the resulting tally shipped back as plain
 integers — so a heterogeneous fleet (numpy here, scalar there) still
-folds byte-identical results.
+folds byte-identical results.  Dispatch is *pipelined*: the next lease
+request is already queued at the coordinator while the current chunk
+computes, and the finished tally ships in the same flush as the
+following request, so steady-state chunk execution never waits on a
+socket round-trip.
 
 A worker is expendable by design: if it dies mid-chunk the coordinator
 re-queues its leases, and if its chunk raises it reports the failure
@@ -44,6 +48,7 @@ from repro.distribute.wire import (
     from_wire,
     recv_message,
     send_message,
+    send_messages,
     to_wire,
 )
 from repro.orchestrate.worker import run_chunk_task
@@ -141,16 +146,38 @@ def _serve_session(
         raise RuntimeError(
             f"coordinator refused the connection: {welcome!r}"
         )
+    # Pipelined dispatch: the lease request for chunk N+1 is already in
+    # flight while chunk N computes, and chunk N's tally rides in the
+    # same flush as the *next* lease request — so the per-chunk
+    # round-trip stall (send result, await ack, send next, await task)
+    # collapses to zero between back-to-back chunks.  ``pending`` holds
+    # the frames for the last computed chunk until the next reply
+    # arrives; losing the connection just requeues that lease.
+    pending: list[dict] = []
+    send_message(wfile, {"op": "next"})
     while True:
-        send_message(wfile, {"op": "next"})
         reply = recv_message(rfile)
-        if reply is None or reply.get("op") == "shutdown":
+        if reply is None:
+            if pending:
+                raise ConnectionError("coordinator went away mid-result")
             return True
-        if reply.get("op") == "idle":
-            time.sleep(float(reply.get("delay", 0.05)))
+        op = reply.get("op")
+        if op == "shutdown":
+            return True
+        if op == "idle":
+            if pending:
+                # Flush without sleeping: the coordinator may be
+                # waiting on exactly this tally to close the barrier.
+                send_messages(wfile, [*pending, {"op": "next"}])
+                pending = []
+            else:
+                time.sleep(float(reply.get("delay", 0.05)))
+                send_message(wfile, {"op": "next"})
             continue
-        if reply.get("op") != "task":
+        if op != "task":
             raise RuntimeError(f"unexpected coordinator reply: {reply!r}")
+        send_messages(wfile, [*pending, {"op": "next"}])
+        pending = []
         task = _with_backend(from_wire(reply["task"]), backend)
         if plan is not None:
             if plan.should("hang"):  # straggle past the lease timeout
@@ -163,10 +190,9 @@ def _serve_session(
             _, tally = run_chunk_task(task)
         except Exception as exc:  # report, don't die: the chunk may
             # succeed on a worker with different capabilities.
-            send_message(
-                wfile,
-                {"op": "failed", "id": reply["id"], "error": repr(exc)},
-            )
+            pending = [
+                {"op": "failed", "id": reply["id"], "error": repr(exc)}
+            ]
         else:
             executed[0] += 1
             result = {
@@ -177,14 +203,9 @@ def _serve_session(
             if plan is not None and plan.should("torn"):
                 _send_torn_frame(wfile, result)
                 raise _ChaosReset("chaos: torn result frame")
-            send_message(wfile, result)
+            pending = [result]
             if plan is not None and plan.should("dup"):
-                send_message(wfile, result)  # exactly-once fold drops it
-                if recv_message(rfile) is None:
-                    raise ConnectionError("coordinator went away mid-ack")
-        ack = recv_message(rfile)
-        if ack is None:
-            raise ConnectionError("coordinator went away mid-ack")
+                pending = [result, result]  # exactly-once fold drops it
 
 
 def serve_worker(

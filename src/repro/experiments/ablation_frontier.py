@@ -60,6 +60,8 @@ def frontier(
     adaptive: AdaptivePolicy | None = None,
     executor=None,
     progress_cb=None,
+    trial_budget: int | None = None,
+    cache_dir: str | None = None,
 ) -> list[FrontierPoint]:
     # One run_design_points call = one shared pool for all 12 runs
     # (full + ablated per point), not a pool spin-up per design point.
@@ -82,6 +84,7 @@ def frontier(
     results, outcomes = run_design_points_with_outcomes(
         simulators, trials, seed, jobs, chunk_size, progress_cb,
         adaptive=adaptive, executor=executor, group_ns="frontier",
+        trial_budget=trial_budget, cache_dir=cache_dir,
     )
     points = []
     for index, (extra_bits, code) in enumerate(codes):
@@ -124,6 +127,8 @@ def k_sweep(
     adaptive: AdaptivePolicy | None = None,
     executor=None,
     progress_cb=None,
+    trial_budget: int | None = None,
+    cache_dir: str | None = None,
 ) -> list[KSweepPoint]:
     from repro.core.codes import muse_144_132
 
@@ -149,6 +154,7 @@ def k_sweep(
     results, outcomes = run_design_points_with_outcomes(
         simulators, trials, seed, jobs, chunk_size, progress_cb,
         adaptive=adaptive, executor=executor, group_ns="k-sweep",
+        trial_budget=trial_budget, cache_dir=cache_dir,
     )
     return [
         KSweepPoint(
@@ -228,6 +234,8 @@ def main(
     checkpoint_dir: str | None = None,
     resume: bool = False,
     progress: bool = False,
+    trial_budget: int | None = None,
+    cache_dir: str | None = None,
 ) -> str:
     trials = DEFAULT_TRIALS if trials is None else trials
     seed = DEFAULT_SEED if seed is None else seed
@@ -241,17 +249,21 @@ def main(
         resume=resume,
         backend=backend,
         progress=progress,
+        cache_dir=cache_dir,
     ) as (executor, progress_cb):
+        local_cache = cache_dir if executor is None else None
         report = render(
             frontier(
                 trials, seed, backend=backend, jobs=jobs,
                 chunk_size=chunk_size, adaptive=policy, executor=executor,
-                progress_cb=progress_cb,
+                progress_cb=progress_cb, trial_budget=trial_budget,
+                cache_dir=local_cache,
             ),
             k_sweep(
                 trials, seed, backend=backend, jobs=jobs,
                 chunk_size=chunk_size, adaptive=policy, executor=executor,
-                progress_cb=progress_cb,
+                progress_cb=progress_cb, trial_budget=trial_budget,
+                cache_dir=local_cache,
             ),
         )
     print(report)

@@ -91,6 +91,8 @@ def msed_sweep(
     adaptive: AdaptivePolicy | None = None,
     executor=None,
     progress_cb=None,
+    trial_budget: int | None = None,
+    cache_dir: str | None = None,
 ) -> list[ShuffleMsedRow]:
     """Monte-Carlo MSED across the 80-bit design points, per layout.
 
@@ -117,7 +119,8 @@ def msed_sweep(
     results, outcomes = run_design_points_with_outcomes(
         simulators, trials, seed, jobs=jobs, chunk_size=chunk_size,
         progress=progress_cb, adaptive=adaptive, executor=executor,
-        group_ns="shuffle-msed",
+        group_ns="shuffle-msed", trial_budget=trial_budget,
+        cache_dir=cache_dir,
     )
     rows = []
     for (code, _), result, outcome in zip(points, results, outcomes):
@@ -193,6 +196,8 @@ def main(
     checkpoint_dir: str | None = None,
     resume: bool = False,
     progress: bool = False,
+    trial_budget: int | None = None,
+    cache_dir: str | None = None,
 ) -> str:
     seed = DEFAULT_SEED if seed is None else seed
     with execution_context(
@@ -202,6 +207,7 @@ def main(
         resume=resume,
         backend=backend,
         progress=progress,
+        cache_dir=cache_dir,
     ) as (executor, progress_cb):
         rows = msed_sweep(
             DEFAULT_TRIALS if trials is None else trials,
@@ -214,6 +220,8 @@ def main(
             else None,
             executor=executor,
             progress_cb=progress_cb,
+            trial_budget=trial_budget,
+            cache_dir=cache_dir if executor is None else None,
         )
     report = "\n\n".join([render(sweep()), render_msed(rows)])
     print(report)

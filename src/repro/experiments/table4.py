@@ -60,9 +60,18 @@ def render(table: TableIV) -> str:
             f"<= {policy.ci_target:g} x rate ({policy.kind} @"
             f"{policy.confidence:.0%}), ceiling {policy.max_trials}"
         )
+        ceiling = sum(
+            1
+            for p in sampled
+            if not p.sampling.converged
+            and p.result.trials >= p.sampling.policy.max_trials
+        )
+        starved = len(sampled) - converged - ceiling
+        tail = f"{converged} converged, {ceiling} hit the ceiling"
+        if starved:
+            tail += f", {starved} out of budget"
         lines.append(
-            f"  total trials {total} across {len(sampled)} points; "
-            f"{converged} converged, {len(sampled) - converged} hit the ceiling"
+            f"  total trials {total} across {len(sampled)} points; {tail}"
         )
     return "\n".join(lines)
 
@@ -93,6 +102,11 @@ def details(table: TableIV) -> dict:
         if point.sampling is not None:
             entry["converged"] = point.sampling.converged
             entry["rounds"] = point.sampling.rounds
+            if getattr(point.sampling, "escalated", False):
+                entry["escalated"] = True
+            cached = getattr(point.sampling, "trials_cached", 0)
+            if cached:
+                entry["trials_cached"] = cached
         points.append(entry)
     summary = {
         "experiment": "table4",
@@ -133,13 +147,18 @@ def build(
     checkpoint_dir: str | None = None,
     resume: bool = False,
     progress: bool = False,
+    trial_budget: int | None = None,
+    cache_dir: str | None = None,
 ) -> TableIV:
     """The table behind :func:`main` (callable for tests/benchmarks).
 
     ``distribute`` fans the chunk grid over a coordinator/worker
     session (``local:N`` or ``listen:PORT``); ``checkpoint_dir`` /
     ``resume`` journal and replay completed chunks; ``progress`` prints
-    heartbeats to stderr.  None of them changes the table.
+    heartbeats to stderr.  ``trial_budget`` caps the adaptive
+    campaign's total spend; ``cache_dir`` folds already-computed cells
+    straight from the cross-run result cache.  None of them changes
+    the tallies of the trials that do run.
     """
     policy: AdaptivePolicy | None = None
     if isinstance(adaptive, AdaptivePolicy):
@@ -154,6 +173,7 @@ def build(
         resume=resume,
         backend=backend,
         progress=progress,
+        cache_dir=cache_dir,
     ) as (executor, progress_cb):
         return build_table_iv(
             trials=DEFAULT_TRIALS if trials is None else trials,
@@ -165,6 +185,8 @@ def build(
             progress=progress_cb,
             adaptive=policy,
             executor=executor,
+            trial_budget=trial_budget,
+            cache_dir=cache_dir if executor is None else None,
         )
 
 
@@ -182,6 +204,8 @@ def main(
     checkpoint_dir: str | None = None,
     resume: bool = False,
     progress: bool = False,
+    trial_budget: int | None = None,
+    cache_dir: str | None = None,
 ) -> tuple[str, dict]:
     """Render the table; returns ``(report, details)`` — the sweep puts
     the details dict (per-point ``trials_used`` and intervals) into
@@ -200,6 +224,8 @@ def main(
         checkpoint_dir=checkpoint_dir,
         resume=resume,
         progress=progress,
+        trial_budget=trial_budget,
+        cache_dir=cache_dir,
     )
     report = render(table)
     print(report)

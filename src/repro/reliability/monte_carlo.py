@@ -28,6 +28,7 @@ master seed the folded tally is byte-identical for every
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass
 from functools import lru_cache
@@ -59,6 +60,11 @@ from repro.reliability.metrics import (
     MsedResult,
     MsedTally,
     TableIV,
+)
+from repro.reliability.sampling.scheduler import (
+    CampaignOutcome,
+    CampaignPolicy,
+    CampaignRunner,
 )
 from repro.reliability.sampling.sequential import (
     AdaptiveOutcome,
@@ -515,27 +521,55 @@ def run_design_points(
 
 def run_design_points_adaptive(
     simulators: "list[MuseMsedSimulator | RsMsedSimulator]",
-    policy: AdaptivePolicy,
+    policy: "AdaptivePolicy | CampaignPolicy",
     seed: int,
     jobs: int = 1,
     chunk_size: int | None = None,
     progress: ProgressCallback | None = None,
     executor=None,
     group_ns: str | None = None,
-) -> list[AdaptiveOutcome]:
+    trial_budget: int | None = None,
+    cache_dir: str | None = None,
+) -> list[CampaignOutcome]:
     """Adaptive sibling of :func:`run_design_points`.
 
-    Every simulator consumes the same counter-hashed stream, but each
-    stops independently at the first policy-scheduled look where its
-    target rate's interval is tight enough — so cheap design points
-    spend hundreds of trials while hard ones run to the ceiling.
-    Results are positionally aligned with ``simulators`` and, like the
-    fixed-budget runner, independent of ``jobs``/``chunk_size``/backend
-    at a fixed seed (including each point's ``trials_used``).
+    Every simulator consumes the same counter-hashed stream, but the
+    sweep is now scheduled as one *campaign*
+    (:class:`~repro.reliability.sampling.scheduler.CampaignRunner`):
+    each round spends the next batch of trials on the points furthest
+    from the policy's CI target instead of finishing points one at a
+    time, optionally under a campaign-wide ``trial_budget`` and backed
+    by a ``cache_dir`` result cache.  Results are positionally aligned
+    with ``simulators`` and, like the fixed-budget runner, independent
+    of ``jobs``/``chunk_size``/backend at a fixed seed (including each
+    point's ``trials_used``) — allocation is a pure function of the
+    folded tallies.
     """
-    return AdaptiveRunner(policy).run(
+    if isinstance(policy, CampaignPolicy):
+        campaign = policy
+    else:
+        campaign = CampaignPolicy(base=policy)
+    if trial_budget is not None:
+        campaign = dataclasses.replace(campaign, trial_budget=trial_budget)
+    cache = None
+    if cache_dir is not None and executor is None:
+        # Distributed runs attach the cache to the session (the
+        # coordinator owns all folds there); in-process runs own it
+        # here.
+        from repro.distribute.cache import ResultCache
+
+        cache = ResultCache(cache_dir)
+    runner = CampaignRunner(
+        campaign,
+        cache=cache,
+        heartbeat=getattr(executor, "heartbeat", None),
+    )
+    outcomes = runner.run(
         simulators, seed, jobs, chunk_size, progress, executor, group_ns
     )
+    if cache is not None:
+        cache.flush()
+    return outcomes
 
 
 def run_design_points_with_outcomes(
@@ -548,18 +582,21 @@ def run_design_points_with_outcomes(
     adaptive: AdaptivePolicy | None = None,
     executor=None,
     group_ns: str | None = None,
-) -> "tuple[list[MsedResult], list[AdaptiveOutcome | None]]":
+    trial_budget: int | None = None,
+    cache_dir: str | None = None,
+) -> "tuple[list[MsedResult], list[CampaignOutcome | None]]":
     """The one fixed-vs-adaptive dispatch every experiment shares.
 
     Returns ``(results, outcomes)`` positionally aligned with
     ``simulators``; ``outcomes`` is all ``None`` for fixed-budget runs
     (``adaptive is None``), so callers render trial counts and
-    convergence flags from one shape.
+    convergence flags from one shape.  ``trial_budget`` and
+    ``cache_dir`` only apply to adaptive (campaign) runs.
     """
     if adaptive is not None:
         outcomes = run_design_points_adaptive(
             simulators, adaptive, seed, jobs, chunk_size, progress, executor,
-            group_ns,
+            group_ns, trial_budget, cache_dir,
         )
         return [outcome.result for outcome in outcomes], list(outcomes)
     results = run_design_points(
@@ -580,6 +617,8 @@ def build_table_iv(
     progress: ProgressCallback | None = None,
     adaptive: AdaptivePolicy | None = None,
     executor=None,
+    trial_budget: int | None = None,
+    cache_dir: str | None = None,
 ) -> TableIV:
     """Run every design point and assemble the paper's Table IV.
 
@@ -591,10 +630,11 @@ def build_table_iv(
     changes the tallies of a fixed ``(trials, seed)`` table — one flag
     set accelerates the whole table without altering it.
 
-    With ``adaptive`` set, ``trials`` is ignored: each design point
-    runs until its policy interval converges or ``policy.max_trials``
-    is hit, and every :class:`DesignPoint` carries its
-    :class:`AdaptiveOutcome` in ``.sampling``.
+    With ``adaptive`` set, ``trials`` is ignored: the whole table runs
+    as one campaign (trials flow to the points furthest from the CI
+    target each round), optionally capped by ``trial_budget`` and
+    served from the ``cache_dir`` result cache, and every
+    :class:`DesignPoint` carries its campaign outcome in ``.sampling``.
     """
     entries: list[tuple[str, int, object]] = []
     simulators: list[MuseMsedSimulator | RsMsedSimulator] = []
@@ -624,7 +664,7 @@ def build_table_iv(
 
     results, outcomes = run_design_points_with_outcomes(
         simulators, trials, seed, jobs, chunk_size, progress, adaptive,
-        executor,
+        executor, trial_budget=trial_budget, cache_dir=cache_dir,
     )
 
     table = TableIV()

@@ -1,6 +1,6 @@
 """Adaptive rare-event sampling for the reliability Monte-Carlo.
 
-Three layers over the PR-3 streaming orchestrator:
+Four layers over the PR-3 streaming orchestrator:
 
 * :mod:`~repro.reliability.sampling.intervals` — Wilson-score and
   Clopper-Pearson binomial confidence intervals (stdlib-only), the
@@ -18,7 +18,16 @@ Three layers over the PR-3 streaming orchestrator:
   from the plain stream, branch the final corrupted symbol over all
   its values, and fold exact per-stratum integer counts into an
   unbiased, lower-variance rate estimate with real error bars even
-  where the plain stream sees zero events.
+  where the plain stream sees zero events;
+* :mod:`~repro.reliability.sampling.scheduler` —
+  :class:`CampaignRunner`: fleet-wide budget allocation across a whole
+  sweep.  Each round it spends the next batch of trials on the points
+  furthest from their CI target (priority = half-width / goal), honours
+  a campaign-wide trial budget, escalates zero-event cells to the
+  splitting estimator, and folds completed cells from the cross-run
+  result cache — while keeping every allocation a pure function of the
+  folded tallies, so ``trials_used`` stays byte-identical across
+  ``(chunk_size, jobs, workers)`` and backends.
 """
 
 from repro.reliability.sampling.intervals import (
@@ -34,6 +43,14 @@ from repro.reliability.sampling.sequential import (
     AdaptiveRunner,
     policy_from_cli,
 )
+
+# scheduler builds on sequential's policy types; keep it after.
+from repro.reliability.sampling.scheduler import (
+    CampaignOutcome,
+    CampaignPolicy,
+    CampaignRunner,
+    CampaignScheduler,
+)
 from repro.reliability.sampling.splitting import (
     DEFAULT_SPLIT_CHUNK_SIZE,
     MuseSplitSpec,
@@ -48,6 +65,10 @@ __all__ = [
     "AdaptiveOutcome",
     "AdaptivePolicy",
     "AdaptiveRunner",
+    "CampaignOutcome",
+    "CampaignPolicy",
+    "CampaignRunner",
+    "CampaignScheduler",
     "DEFAULT_SPLIT_CHUNK_SIZE",
     "INTERVAL_KINDS",
     "Interval",
