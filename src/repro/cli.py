@@ -68,6 +68,10 @@ ADAPTIVE_EXPERIMENTS = ("table4", "ablation-shuffle", "ablation-frontier")
 #: specs are wire-registered for the JSON transport.
 DISTRIBUTED_EXPERIMENTS = ("table4", "ablation-shuffle", "ablation-frontier")
 
+#: The experiments that accept --scenario (a registered fault scenario
+#: swapped in for the default transient msed stream).
+SCENARIO_EXPERIMENTS = ("table4", "ablation-shuffle", "ablation-frontier")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -165,6 +169,23 @@ def build_parser() -> argparse.ArgumentParser:
             "straight from disk with zero new trials (requires "
             "--adaptive or --distribute; backend-portable, since all "
             "backends tally byte-identically)"
+        ),
+    )
+    from repro.scenarios import scenario_names
+
+    parser.add_argument(
+        "--scenario",
+        choices=scenario_names(),
+        default=None,
+        help=(
+            "fault scenario for the MSED Monte-Carlo (table4, "
+            "ablations): choices come from the scenario registry "
+            "(repro.scenarios) — 'msed' is the paper's transient "
+            "k-symbol model; 'mbu'/'stuck'/'rowfail'/'scrub'/'wear' "
+            "inject correlated bursts, permanent faults, row "
+            "failures, scrub-interval accumulation, and wear-dependent "
+            "flips; every scenario tallies byte-identically across "
+            "--backend/--chunk-size/--jobs/--distribute at a fixed seed"
         ),
     )
     parser.add_argument(
@@ -308,6 +329,8 @@ def experiment_kwargs(args: argparse.Namespace) -> dict[str, dict]:
                         kw["resume"] = True
             if args.progress:
                 kw["progress"] = True
+        if args.scenario is not None and name in SCENARIO_EXPERIMENTS:
+            kw["scenario"] = args.scenario
         if args.adaptive and name in ADAPTIVE_EXPERIMENTS:
             kw["adaptive"] = True
             if args.ci_target is not None:
@@ -413,6 +436,19 @@ def run(args: argparse.Namespace) -> int:
             "do not reconnect between experiments); use --distribute "
             "local:N, or run experiments individually via "
             "'repro-muse coordinator --run ...'",
+            file=sys.stderr,
+        )
+        return 2
+    if args.scenario is not None and args.experiment not in (
+        SCENARIO_EXPERIMENTS + ("all",)
+    ):
+        # Same flag-dropping class as --progress/--adaptive: a scenario
+        # on an experiment without a Monte-Carlo corruption stream
+        # would silently run the default model.
+        print(
+            f"error: --scenario applies to "
+            f"{', '.join(SCENARIO_EXPERIMENTS)} (or 'all'), "
+            f"not {args.experiment}",
             file=sys.stderr,
         )
         return 2

@@ -184,6 +184,10 @@ class HybridErrorModel(ErrorModel):
     parts: tuple[ErrorModel, ...]
 
     def __post_init__(self) -> None:
+        if not self.parts:
+            raise ValueError(
+                "hybrid error model needs at least one part error model"
+            )
         widths = {part.n for part in self.parts}
         if len(widths) != 1:
             raise ValueError(f"hybrid parts disagree on codeword width: {widths}")
@@ -234,14 +238,26 @@ def positive_error_value_histogram(
 ) -> dict[int, int]:
     """Histogram of positive error values binned by integer log (Fig 1b).
 
-    Returns a map ``floor(log2(value)) -> count`` over the model's
-    positive error values, reproducing the paper's Figure 1(b) series
-    ("here and thereafter only the positive values are shown").
+    Returns a map ``floor(log_base(value)) -> count`` over the model's
+    positive error values; with the default ``base=2`` this reproduces
+    the paper's Figure 1(b) series ("here and thereafter only the
+    positive values are shown").
     """
+    if base < 2:
+        raise ValueError(f"histogram base must be >= 2, got {base}")
     histogram: dict[int, int] = {}
     for value in model.error_values():
         if value <= 0:
             continue
-        bin_index = value.bit_length() - 1
+        if base == 2:
+            bin_index = value.bit_length() - 1
+        else:
+            # Integer log: exact for arbitrary-precision values where
+            # float log would misbin near power-of-base boundaries.
+            bin_index = 0
+            remaining = value
+            while remaining >= base:
+                remaining //= base
+                bin_index += 1
         histogram[bin_index] = histogram.get(bin_index, 0) + 1
     return dict(sorted(histogram.items()))

@@ -62,6 +62,7 @@ def frontier(
     progress_cb=None,
     trial_budget: int | None = None,
     cache_dir: str | None = None,
+    scenario: str = "msed",
 ) -> list[FrontierPoint]:
     # One run_design_points call = one shared pool for all 12 runs
     # (full + ablated per point), not a pool spin-up per design point.
@@ -74,11 +75,14 @@ def frontier(
         )
         codes.append((extra_bits, code))
         simulators.append(
-            MuseMsedSimulator(code, backend=backend, code_ref=ref)
+            MuseMsedSimulator(
+                code, backend=backend, code_ref=ref, scenario=scenario
+            )
         )
         simulators.append(
             MuseMsedSimulator(
-                code, ripple_check=False, backend=backend, code_ref=ref
+                code, ripple_check=False, backend=backend, code_ref=ref,
+                scenario=scenario,
             )
         )
     results, outcomes = run_design_points_with_outcomes(
@@ -129,6 +133,7 @@ def k_sweep(
     progress_cb=None,
     trial_budget: int | None = None,
     cache_dir: str | None = None,
+    scenario: str = "msed",
 ) -> list[KSweepPoint]:
     from repro.core.codes import muse_144_132
 
@@ -141,6 +146,7 @@ def k_sweep(
                 k_symbols=k,
                 backend=backend,
                 code_ref=CodeRef("repro.core.codes:muse_144_132"),
+                scenario=scenario,
             )
         )
         simulators.append(
@@ -149,6 +155,7 @@ def k_sweep(
                 k_symbols=k,
                 backend=backend,
                 code_ref=CodeRef("repro.rs.reed_solomon:rs_144_128"),
+                scenario=scenario,
             )
         )
     results, outcomes = run_design_points_with_outcomes(
@@ -236,6 +243,7 @@ def main(
     progress: bool = False,
     trial_budget: int | None = None,
     cache_dir: str | None = None,
+    scenario: str = "msed",
 ) -> str:
     trials = DEFAULT_TRIALS if trials is None else trials
     seed = DEFAULT_SEED if seed is None else seed
@@ -257,15 +265,17 @@ def main(
                 trials, seed, backend=backend, jobs=jobs,
                 chunk_size=chunk_size, adaptive=policy, executor=executor,
                 progress_cb=progress_cb, trial_budget=trial_budget,
-                cache_dir=local_cache,
+                cache_dir=local_cache, scenario=scenario,
             ),
             k_sweep(
                 trials, seed, backend=backend, jobs=jobs,
                 chunk_size=chunk_size, adaptive=policy, executor=executor,
                 progress_cb=progress_cb, trial_budget=trial_budget,
-                cache_dir=local_cache,
+                cache_dir=local_cache, scenario=scenario,
             ),
         )
+    if scenario != "msed":
+        report = f"fault scenario: {scenario}\n{report}"
     print(report)
     return report
 

@@ -93,6 +93,7 @@ def msed_sweep(
     progress_cb=None,
     trial_budget: int | None = None,
     cache_dir: str | None = None,
+    scenario: str = "msed",
 ) -> list[ShuffleMsedRow]:
     """Monte-Carlo MSED across the 80-bit design points, per layout.
 
@@ -112,6 +113,7 @@ def msed_sweep(
             code,
             backend=backend,
             code_ref=CodeRef(f"repro.core.codes:{factory}"),
+            scenario=scenario,
         )
         points.append((code, simulator))
     # One shared pool (or in-process stream) for all three codes.
@@ -198,6 +200,7 @@ def main(
     progress: bool = False,
     trial_budget: int | None = None,
     cache_dir: str | None = None,
+    scenario: str = "msed",
 ) -> str:
     seed = DEFAULT_SEED if seed is None else seed
     with execution_context(
@@ -222,8 +225,11 @@ def main(
             progress_cb=progress_cb,
             trial_budget=trial_budget,
             cache_dir=cache_dir if executor is None else None,
+            scenario=scenario,
         )
     report = "\n\n".join([render(sweep()), render_msed(rows)])
+    if scenario != "msed":
+        report = f"fault scenario: {scenario}\n{report}"
     print(report)
     return report
 

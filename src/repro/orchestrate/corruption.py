@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from repro.engine.base import BackendUnavailableError
 from repro.orchestrate.plan import Chunk
-from repro.orchestrate.rng import counter_draws, derive_key
+from repro.orchestrate.rng import counter_draws, derive_key, trial_seed
 
 try:
     import numpy as np
@@ -257,6 +257,178 @@ def rs_clean_chunk(code, chunk: Chunk, key: int):
             & np.uint64((1 << width) - 1)
         ).astype(np.uint32)
     return engine.encode_arrays(data)
+
+
+# ----------------------------------------------------------------------
+# Scenario drivers (repro.scenarios)
+# ----------------------------------------------------------------------
+#
+# A registered scenario supplies corrupt_batch/corrupt_word callables
+# over symbol views; the drivers here bind those views to each code
+# family's storage (limb batches for MUSE, symbol arrays for RS) and
+# to the single-word scalar forms.  The clean words stay on the base
+# key's DATA stream — shared across scenarios — while every corruption
+# draw comes from the per-scenario stream key, so the scalar and batch
+# paths of one scenario are byte-identical and two scenarios never
+# share a corruption stream.
+
+
+def _check_k(k_symbols: int, symbol_count: int) -> None:
+    if not 1 <= k_symbols <= symbol_count:
+        raise ValueError(
+            f"k_symbols must be in [1, {symbol_count}], got {k_symbols}"
+        )
+
+
+def muse_clean_word(code, trial: int, key: int) -> int:
+    """Trial ``trial`` of the MUSE data stream as one clean codeword.
+
+    The scalar twin of :func:`muse_clean_chunk`: the same per-limb
+    DATA draws, assembled into a big int and encoded through the code
+    itself.  The limb count is ``engine.limbs.limb_count`` inlined
+    (``n // 64 + 1``, always a spare headroom limb) — that module
+    needs numpy, and this scalar path must run without it.
+    """
+    data = 0
+    for limb in range(code.n // 64 + 1):
+        data |= trial_seed(derive_key(key, STREAM_DATA, limb), trial) << (
+            64 * limb
+        )
+    return code.encode(data & ((1 << code.k) - 1))
+
+
+def rs_clean_word(code, trial: int, key: int) -> list[int]:
+    """Trial ``trial`` of the RS data stream as one clean codeword."""
+    data = [
+        trial_seed(derive_key(key, STREAM_DATA, index), trial)
+        & ((1 << code.symbol_widths[index]) - 1)
+        for index in range(code.data_symbols)
+    ]
+    return list(code.encode(data))
+
+
+def muse_scenario_chunk(scenario, code, chunk: Chunk, key: int,
+                        k_symbols: int = 2):
+    """Generate chunk trials of ``scenario``'s MUSE corruption stream.
+
+    Returns the ``(chunk.size, limbs)`` uint64 corrupted batch; the
+    legacy ``"msed"`` scenario delegates to
+    :func:`muse_corruption_chunk` (identical stream, fused-kernel
+    compatible).
+    """
+    _require_numpy()
+    if scenario.corrupt_batch is None:
+        return muse_corruption_chunk(code, chunk, key, k_symbols)
+    from repro.engine.numpy_backend import (
+        extract_symbol_batch,
+        insert_symbol_batch,
+    )
+    from repro.scenarios import BatchSymbolView, scenario_stream_key
+
+    layout = code.layout
+    _check_k(k_symbols, layout.symbol_count)
+    words = muse_clean_chunk(code, chunk, key)
+    view = BatchSymbolView(
+        trials=_trial_counters(chunk),
+        widths=tuple(len(symbol) for symbol in layout.symbols),
+        read=lambda rows, index: extract_symbol_batch(
+            words[rows], layout, index
+        ),
+        write=lambda rows, index, values: insert_symbol_batch(
+            words, layout, index, values, rows
+        ),
+    )
+    scenario.corrupt_batch(
+        scenario_stream_key(key, scenario.name), view, k_symbols
+    )
+    return words
+
+
+def rs_scenario_chunk(scenario, code, chunk: Chunk, key: int,
+                      k_symbols: int = 2):
+    """Generate chunk trials of ``scenario``'s RS corruption stream.
+
+    Returns the ``(chunk.size, n_symbols)`` uint32 corrupted batch;
+    ``"msed"`` delegates to :func:`rs_corruption_chunk`.
+    """
+    _require_numpy()
+    if scenario.corrupt_batch is None:
+        return rs_corruption_chunk(code, chunk, key, k_symbols)
+    from repro.scenarios import BatchSymbolView, scenario_stream_key
+
+    _check_k(k_symbols, code.n_symbols)
+    words = rs_clean_chunk(code, chunk, key)
+
+    def write(rows, index, values):
+        words[rows, index] = values.astype(np.uint32)
+
+    view = BatchSymbolView(
+        trials=_trial_counters(chunk),
+        widths=tuple(code.symbol_widths),
+        read=lambda rows, index: words[rows, index].astype(np.uint64),
+        write=write,
+    )
+    scenario.corrupt_batch(
+        scenario_stream_key(key, scenario.name), view, k_symbols
+    )
+    return words
+
+
+def muse_scenario_word(scenario, code, trial: int, key: int,
+                       k_symbols: int = 2) -> int:
+    """One corrupted MUSE word of ``scenario`` — the scalar reference.
+
+    Byte-identical to row ``trial - chunk.start`` of any
+    :func:`muse_scenario_chunk` covering ``trial`` (pinned by the
+    scenario test matrix), which is what lets the numpy-free simulator
+    path tally the *same* stream instead of a parallel one.
+    """
+    if scenario.corrupt_word is None:
+        raise ValueError(
+            f"scenario {scenario.name!r} has no scalar reference stream "
+            f"(the legacy msed scalar path lives in the simulators)"
+        )
+    from repro.scenarios import WordSymbolView, scenario_stream_key
+
+    layout = code.layout
+    _check_k(k_symbols, layout.symbol_count)
+    state = [muse_clean_word(code, trial, key)]
+    view = WordSymbolView(
+        trial=trial,
+        widths=tuple(len(symbol) for symbol in layout.symbols),
+        get=lambda index: layout.extract_symbol(state[0], index),
+        put=lambda index, value: state.__setitem__(
+            0, layout.insert_symbol(state[0], index, int(value))
+        ),
+    )
+    scenario.corrupt_word(
+        scenario_stream_key(key, scenario.name), view, k_symbols
+    )
+    return state[0]
+
+
+def rs_scenario_word(scenario, code, trial: int, key: int,
+                     k_symbols: int = 2) -> list[int]:
+    """One corrupted RS word of ``scenario`` — the scalar reference."""
+    if scenario.corrupt_word is None:
+        raise ValueError(
+            f"scenario {scenario.name!r} has no scalar reference stream "
+            f"(the legacy msed scalar path lives in the simulators)"
+        )
+    from repro.scenarios import WordSymbolView, scenario_stream_key
+
+    _check_k(k_symbols, code.n_symbols)
+    word = rs_clean_word(code, trial, key)
+    view = WordSymbolView(
+        trial=trial,
+        widths=tuple(code.symbol_widths),
+        get=lambda index: word[index],
+        put=lambda index, value: word.__setitem__(index, int(value)),
+    )
+    scenario.corrupt_word(
+        scenario_stream_key(key, scenario.name), view, k_symbols
+    )
+    return word
 
 
 def rs_corruption_chunk(code, chunk: Chunk, key: int, k_symbols: int = 2):

@@ -98,6 +98,10 @@ class MuseSimSpec:
     k_symbols: int = 2
     ripple_check: bool = True
     backend: str = "auto"
+    #: Registered fault-scenario name (repro.scenarios).  Part of the
+    #: spec — and therefore of ``spec_fingerprint`` — so result-cache
+    #: and checkpoint cells of two scenarios can never collide.
+    scenario: str = "msed"
 
     def build(self):
         from repro.reliability.monte_carlo import MuseMsedSimulator
@@ -107,6 +111,7 @@ class MuseSimSpec:
             k_symbols=self.k_symbols,
             ripple_check=self.ripple_check,
             backend=self.backend,
+            scenario=self.scenario,
         )
 
 
@@ -118,6 +123,8 @@ class RsSimSpec:
     k_symbols: int = 2
     device_bits: int | None = 4
     backend: str = "auto"
+    #: Registered fault-scenario name; see :class:`MuseSimSpec`.
+    scenario: str = "msed"
 
     def build(self):
         from repro.reliability.monte_carlo import RsMsedSimulator
@@ -127,6 +134,7 @@ class RsSimSpec:
             k_symbols=self.k_symbols,
             device_bits=self.device_bits,
             backend=self.backend,
+            scenario=self.scenario,
         )
 
 

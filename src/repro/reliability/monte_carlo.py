@@ -40,7 +40,11 @@ from repro.core.symbols import SymbolLayout
 from repro.engine import BackendUnavailableError, get_engine
 from repro.orchestrate.corruption import (
     muse_corruption_chunk,
+    muse_scenario_chunk,
+    muse_scenario_word,
     rs_corruption_chunk,
+    rs_scenario_chunk,
+    rs_scenario_word,
 )
 from repro.orchestrate.plan import Chunk, plan_chunks
 from repro.orchestrate.pool import ProgressCallback, run_sharded
@@ -135,6 +139,11 @@ class MuseMsedSimulator:
     ripple_check: bool = True
     backend: str = "auto"
     code_ref: CodeRef | str | None = None
+    #: Which registered fault scenario to inject (:mod:`repro.scenarios`).
+    #: The default "msed" is the paper's transient model and keeps the
+    #: historical stream (fused kernels included); every other scenario
+    #: runs generate-then-decode with a byte-identical scalar reference.
+    scenario: str = "msed"
 
     def run(
         self,
@@ -180,7 +189,11 @@ class MuseMsedSimulator:
         backends) run corruption draw, decode, and tally in one
         compiled pass — byte-identical counts, no intermediate batch
         arrays; every other engine decodes the generated chunk.
+        Non-default scenarios bypass the fused kernels (those compile
+        the msed stream only) and generate-then-decode instead.
         """
+        if self.scenario != "msed":
+            return self._scenario_chunk(chunk, key)
         try:
             engine = get_engine(
                 self.code, self.backend, ripple_check=self.ripple_check
@@ -218,7 +231,67 @@ class MuseMsedSimulator:
             k_symbols=self.k_symbols,
             ripple_check=self.ripple_check,
             backend=self.backend,
+            scenario=self.scenario,
         )
+
+    def _scenario_chunk(self, chunk: Chunk, key: int) -> MsedTally:
+        """One chunk of a registered (non-msed) scenario stream.
+
+        Generate-then-decode on whatever engine ``backend`` resolves
+        to; scenarios carry a byte-identical scalar reference, so the
+        numpy-free fallback tallies the *same* stream (unlike the msed
+        sequential path) and even an explicit ``backend="scalar"``
+        request may take it without degrading.
+        """
+        from repro.scenarios import resolve_scenario
+
+        scenario = resolve_scenario(self.scenario)
+        try:
+            engine = get_engine(
+                self.code, self.backend, ripple_check=self.ripple_check
+            )
+            words = muse_scenario_chunk(
+                scenario, self.code, chunk, key, self.k_symbols
+            )
+            counts = engine.decode_batch(words).counts()
+        except BackendUnavailableError:
+            if self.backend not in ("auto", "scalar"):
+                raise  # an explicit request must not silently degrade
+            return self._scenario_sequential(scenario, chunk, key)
+        clean, corrected, no_match, ripple = counts
+        tally = MsedTally()
+        # Tallies classify the delivered word: CLEAN means the
+        # scenario's disturbance aliased to a valid codeword (silent),
+        # CORRECTED a symbol-confined miscorrection.
+        tally.record_counts(
+            silent=clean,
+            miscorrected=corrected,
+            detected_no_match=no_match,
+            detected_confinement=ripple,
+        )
+        return tally
+
+    def _scenario_sequential(self, scenario, chunk: Chunk, key: int) -> MsedTally:
+        """Numpy-free scenario chunk: the scalar reference stream."""
+        code = self.code
+        tally = MsedTally()
+        for trial in range(chunk.start, chunk.stop):
+            corrupted = muse_scenario_word(
+                scenario, code, trial, key, self.k_symbols
+            )
+            if self.ripple_check:
+                result = code.decode(corrupted)
+            else:
+                result = code.decode_without_ripple_check(corrupted)
+            if result.status is DecodeStatus.CLEAN:
+                tally.record_silent()
+            elif result.status is DecodeStatus.CORRECTED:
+                tally.record_miscorrected()
+            elif result.reason is DetectionReason.REMAINDER_NOT_FOUND:
+                tally.record_detected_no_match()
+            else:
+                tally.record_detected_confinement()
+        return tally
 
     def _run_sequential(self, trials: int, seed: int) -> MsedResult:
         """Numpy-free fallback: the per-trial big-int loop."""
@@ -284,6 +357,9 @@ class RsMsedSimulator:
     device_bits: int | None = 4
     backend: str = "auto"
     code_ref: CodeRef | str | None = None
+    #: Registered fault scenario to inject (:mod:`repro.scenarios`);
+    #: see :class:`MuseMsedSimulator`.
+    scenario: str = "msed"
 
     def run(
         self,
@@ -319,8 +395,11 @@ class RsMsedSimulator:
 
         Like the MUSE simulator, engines exposing
         ``fused_chunk_counts`` tally the chunk in one compiled
-        draw->decode pass; other engines decode the generated batch.
+        draw->decode pass; other engines decode the generated batch,
+        and non-default scenarios always generate-then-decode.
         """
+        if self.scenario != "msed":
+            return self._scenario_chunk(chunk, key)
         try:
             engine = get_rs_engine(
                 self.code, self.backend, device_bits=self.device_bits
@@ -357,7 +436,62 @@ class RsMsedSimulator:
             k_symbols=self.k_symbols,
             device_bits=self.device_bits,
             backend=self.backend,
+            scenario=self.scenario,
         )
+
+    def _scenario_chunk(self, chunk: Chunk, key: int) -> MsedTally:
+        """One chunk of a registered (non-msed) scenario stream.
+
+        See :meth:`MuseMsedSimulator._scenario_chunk` — same
+        generate-then-decode shape, same byte-identical scalar
+        fallback.
+        """
+        from repro.scenarios import resolve_scenario
+
+        scenario = resolve_scenario(self.scenario)
+        try:
+            engine = get_rs_engine(
+                self.code, self.backend, device_bits=self.device_bits
+            )
+            words = rs_scenario_chunk(
+                scenario, self.code, chunk, key, self.k_symbols
+            )
+            counts = engine.decode_batch(words).counts()
+        except BackendUnavailableError:
+            if self.backend not in ("auto", "scalar"):
+                raise  # an explicit request must not silently degrade
+            return self._scenario_sequential(scenario, chunk, key)
+        clean, corrected, no_match, confinement = counts
+        tally = MsedTally()
+        tally.record_counts(
+            silent=clean,
+            miscorrected=corrected,
+            detected_no_match=no_match,
+            detected_confinement=confinement,
+        )
+        return tally
+
+    def _scenario_sequential(self, scenario, chunk: Chunk, key: int) -> MsedTally:
+        """Numpy-free scenario chunk: the scalar reference stream."""
+        code = self.code
+        tally = MsedTally()
+        for trial in range(chunk.start, chunk.stop):
+            codeword = rs_scenario_word(
+                scenario, code, trial, key, self.k_symbols
+            )
+            result = code.decode(codeword)
+            if result.status is RSDecodeStatus.CLEAN:
+                tally.record_silent()
+            elif result.status is RSDecodeStatus.DETECTED:
+                tally.record_detected_no_match()
+            elif self.device_bits is not None and not device_confined(
+                code, result.error_position, result.error_magnitude,
+                self.device_bits,
+            ):
+                tally.record_detected_confinement()
+            else:
+                tally.record_miscorrected()
+        return tally
 
     def _run_sequential(self, trials: int, seed: int) -> MsedResult:
         """Numpy-free fallback: the per-trial loop."""
@@ -619,6 +753,7 @@ def build_table_iv(
     executor=None,
     trial_budget: int | None = None,
     cache_dir: str | None = None,
+    scenario: str = "msed",
 ) -> TableIV:
     """Run every design point and assemble the paper's Table IV.
 
@@ -635,6 +770,10 @@ def build_table_iv(
     target each round), optionally capped by ``trial_budget`` and
     served from the ``cache_dir`` result cache, and every
     :class:`DesignPoint` carries its campaign outcome in ``.sampling``.
+
+    ``scenario`` swaps the injected corruption stream for any
+    registered fault scenario (:mod:`repro.scenarios`) — same grid,
+    same determinism contract, per-scenario result-cache cells.
     """
     entries: list[tuple[str, int, object]] = []
     simulators: list[MuseMsedSimulator | RsMsedSimulator] = []
@@ -646,6 +785,7 @@ def build_table_iv(
                 k_symbols=k_symbols,
                 backend=backend,
                 code_ref=CodeRef(f"{_SELF}:muse_design_point", (extra_bits,)),
+                scenario=scenario,
             )
         )
         entries.append(("MUSE", extra_bits, code))
@@ -658,6 +798,7 @@ def build_table_iv(
                 device_bits=4 if rs_device_policy else None,
                 backend=backend,
                 code_ref=CodeRef(f"{_SELF}:rs_design_point", (extra_bits,)),
+                scenario=scenario,
             )
         )
         entries.append(("RS", extra_bits, code))

@@ -234,6 +234,10 @@ class CampaignOutcome:
     escalated: bool = False
     tail_bound: Any | None = None
     trials_cached: int = 0
+    #: How the zero-event tail was handled when ``escalated``:
+    #: "importance splitting" where the estimator supports the
+    #: scenario, "Clopper-Pearson tail bound" otherwise.
+    escalation: str = "importance splitting"
 
     @property
     def trials_used(self) -> int:
@@ -244,7 +248,7 @@ class CampaignOutcome:
 
     def describe(self) -> str:
         if self.escalated:
-            reason = "escalated to importance splitting"
+            reason = f"escalated to {self.escalation}"
         elif self.converged:
             reason = "converged"
         elif self.result.trials >= self.policy.max_trials:
@@ -275,8 +279,17 @@ def _splitting_estimator(simulator: Any) -> Any | None:
     """Build the splitting twin of ``simulator``, or None if unknown.
 
     Imported lazily: splitting needs numpy, and campaigns that never
-    escalate must not.
+    escalate must not.  Returns None for fault scenarios the splitting
+    estimator does not support — the prefix stream it branches over is
+    the plain msed one — so the campaign reports a Clopper-Pearson
+    bound for those points instead.
     """
+    from repro.scenarios import resolve_scenario
+
+    name = getattr(simulator, "scenario", "msed")
+    if not resolve_scenario(name).supports_splitting:
+        return None
+
     from repro.reliability.sampling.splitting import (
         MuseSplittingEstimator,
         RsSplittingEstimator,
@@ -463,11 +476,21 @@ class CampaignRunner:
                 self.cache.flush()
 
         tail_bounds: list[Any | None] = [None] * count
+        escalations = ["importance splitting"] * count
         for i in range(count):
             if not escalated[i]:
                 continue
             estimator = _splitting_estimator(simulators[i])
             if estimator is None:
+                # No splitting twin (unsupported scenario or family):
+                # bound the zero-event tail with the exact
+                # Clopper-Pearson interval of the plain stream instead.
+                escalations[i] = "Clopper-Pearson tail bound"
+                tail_bounds[i] = tallies[i].freeze().interval(
+                    kind="clopper-pearson",
+                    confidence=base.confidence,
+                    metric=base.metric,
+                )
                 continue
             try:
                 tail_bounds[i] = estimator.run(
@@ -489,6 +512,7 @@ class CampaignRunner:
                 escalated=escalated[i],
                 tail_bound=tail_bounds[i],
                 trials_cached=cached_trials[i],
+                escalation=escalations[i],
             )
             for i in range(count)
         ]

@@ -175,3 +175,62 @@ class TestValueRealizability:
         word = layout.insert_symbol(0, index, original)
         word_bad = layout.insert_symbol(0, index, corrupted)
         assert word_bad - word == value
+
+
+class TestHistogramBase:
+    """Regression: the ``base`` parameter used to be silently ignored
+    (every call binned by log2 regardless)."""
+
+    def test_base_changes_the_binning(self):
+        model = SymbolErrorModel(SymbolLayout.sequential(80, 4))
+        base2 = positive_error_value_histogram(model, base=2)
+        base16 = positive_error_value_histogram(model, base=16)
+        assert base2 != base16
+        assert sum(base2.values()) == sum(base16.values())
+        # log16 compresses: four log2 bins per log16 bin.
+        assert max(base16) == max(base2) // 4
+
+    def test_base_bins_by_integer_log(self):
+        model = SingleBitErrorModel(12)  # positive values 2^0 .. 2^11
+        histogram = positive_error_value_histogram(model, base=10)
+        # 1,2,4,8 -> bin 0; 16..64 -> bin 1; 128..512 -> bin 2; 1024,2048 -> 3
+        assert histogram == {0: 4, 1: 3, 2: 3, 3: 2}
+
+    def test_base_exact_at_power_boundaries(self):
+        """Integer log, not float log: 10^k must land in bin k even
+        where ``math.log10`` would round just below it."""
+
+        class _Fixed:
+            n = 64
+
+            def error_values(self):
+                return frozenset({10**k for k in range(1, 7)})
+
+        assert positive_error_value_histogram(_Fixed(), base=10) == {
+            k: 1 for k in range(1, 7)
+        }
+
+    def test_default_base_unchanged(self):
+        model = SymbolErrorModel(SymbolLayout.sequential(8, 4))
+        assert positive_error_value_histogram(
+            model
+        ) == positive_error_value_histogram(model, base=2)
+
+    def test_invalid_base_refused(self):
+        model = SingleBitErrorModel(4)
+        with pytest.raises(ValueError, match="base"):
+            positive_error_value_histogram(model, base=1)
+
+
+class TestHybridValidation:
+    """Regression: an empty ``parts`` tuple used to raise a misleading
+    'parts disagree on codeword width' error (and IndexError on .n)."""
+
+    def test_empty_parts_refused_with_clear_message(self):
+        with pytest.raises(ValueError, match="at least one part"):
+            HybridErrorModel(())
+
+    def test_single_part_still_fine(self):
+        model = HybridErrorModel((SingleBitErrorModel(8),))
+        assert model.n == 8
+        assert model.error_values() == SingleBitErrorModel(8).error_values()

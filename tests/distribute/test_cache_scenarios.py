@@ -1,0 +1,112 @@
+"""Result-cache cells must never alias across fault scenarios.
+
+The scenario name is part of the sim spec, hence of
+``spec_fingerprint``, hence of the cache cell digest: two scenarios of
+the same ``(code, seed)`` occupy distinct cells, and a lookup under
+one scenario is never served a chunk computed under another.
+"""
+
+import itertools
+
+from repro.distribute.cache import ResultCache
+from repro.distribute.checkpoint import spec_fingerprint
+from repro.orchestrate.plan import Chunk
+from repro.orchestrate.worker import CodeRef, MuseSimSpec, RsSimSpec
+from repro.reliability.metrics import MsedTally
+from repro.scenarios import scenario_names
+
+KEY = 0xBEEF
+MUSE_REF = CodeRef("repro.core.codes:muse_80_69")
+RS_REF = CodeRef("repro.rs.reed_solomon:rs_144_128")
+
+
+def tally(**counts) -> MsedTally:
+    t = MsedTally()
+    t.record_counts(**counts)
+    return t
+
+
+class TestFingerprints:
+    def test_distinct_across_all_scenarios(self):
+        prints = {
+            spec_fingerprint(MuseSimSpec(MUSE_REF, scenario=name))
+            for name in scenario_names()
+        }
+        assert len(prints) == len(scenario_names())
+
+    def test_distinct_for_rs_too(self):
+        prints = {
+            spec_fingerprint(RsSimSpec(RS_REF, scenario=name))
+            for name in scenario_names()
+        }
+        assert len(prints) == len(scenario_names())
+
+    def test_backend_still_collapses_within_a_scenario(self):
+        """The scenario field must not break the cross-backend cell
+        sharing the cache is built on."""
+        a = spec_fingerprint(
+            MuseSimSpec(MUSE_REF, backend="scalar", scenario="mbu")
+        )
+        b = spec_fingerprint(
+            MuseSimSpec(MUSE_REF, backend="numpy", scenario="mbu")
+        )
+        assert a == b
+
+    def test_default_spec_is_the_msed_cell(self):
+        """Pre-scenario cache files were written with no scenario field;
+        the default must stay ``msed`` so old msed cells keep hitting."""
+        assert spec_fingerprint(MuseSimSpec(MUSE_REF)) == spec_fingerprint(
+            MuseSimSpec(MUSE_REF, scenario="msed")
+        )
+
+
+class TestCacheCells:
+    def test_foreign_scenario_cell_not_served(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        chunk = Chunk(0, 64)
+        mbu = MuseSimSpec(MUSE_REF, scenario="mbu")
+        wear = MuseSimSpec(MUSE_REF, scenario="wear")
+        cache.record(KEY, mbu, chunk, tally(miscorrected=3, silent=1))
+
+        assert cache.lookup(KEY, wear, chunk) is None
+        held = cache.lookup(KEY, mbu, chunk)
+        assert held is not None and held.miscorrected == 3
+
+    def test_every_scenario_pair_isolated_on_disk(self, tmp_path):
+        """Round-trip through a fresh cache: each scenario reads back
+        exactly its own chunk, never a sibling's."""
+        chunk = Chunk(0, 32)
+        writer = ResultCache(tmp_path)
+        for i, name in enumerate(scenario_names()):
+            spec = MuseSimSpec(MUSE_REF, scenario=name)
+            writer.record(KEY, spec, chunk, tally(miscorrected=i, silent=1))
+        writer.flush()
+
+        reader = ResultCache(tmp_path)
+        for i, name in enumerate(scenario_names()):
+            spec = MuseSimSpec(MUSE_REF, scenario=name)
+            held = reader.lookup(KEY, spec, chunk)
+            assert held is not None and held.miscorrected == i, name
+        for a, b in itertools.permutations(scenario_names(), 2):
+            digest_a = reader._digest(
+                KEY, spec_fingerprint(MuseSimSpec(MUSE_REF, scenario=a))
+            )
+            digest_b = reader._digest(
+                KEY, spec_fingerprint(MuseSimSpec(MUSE_REF, scenario=b))
+            )
+            assert digest_a != digest_b, (a, b)
+
+    def test_rerun_of_a_scenario_cell_is_zero_recompute(self, tmp_path):
+        """The cache's core guarantee holds for scenario cells: a
+        second run of a completed cell serves everything from disk."""
+        chunk_a, chunk_b = Chunk(0, 64), Chunk(64, 64)
+        spec = RsSimSpec(RS_REF, scenario="scrub")
+        writer = ResultCache(tmp_path)
+        writer.record(KEY, spec, chunk_a, tally(detected_no_match=64))
+        writer.record(KEY, spec, chunk_b, tally(miscorrected=2))
+        writer.flush()
+
+        reader = ResultCache(tmp_path)
+        assert reader.lookup(KEY, spec, chunk_a).trials == 64
+        assert reader.lookup(KEY, spec, chunk_b).miscorrected == 2
+        assert reader.trials_recorded == 0
