@@ -72,6 +72,11 @@ DISTRIBUTED_EXPERIMENTS = ("table4", "ablation-shuffle", "ablation-frontier")
 #: swapped in for the default transient msed stream).
 SCENARIO_EXPERIMENTS = ("table4", "ablation-shuffle", "ablation-frontier")
 
+#: The experiments that accept --telemetry-dir (their mains wrap the
+#: run in a telemetry session); the coordinator/worker subcommands and
+#: the 'all' sweep thread it through as well.
+TELEMETRY_EXPERIMENTS = ("table4", "ablation-shuffle", "ablation-frontier")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -88,11 +93,20 @@ def build_parser() -> argparse.ArgumentParser:
             "figure6", "figure7", "rowhammer", "pim",
             "ablation-shuffle", "ablation-frontier",
             "extension-double-device", "all",
-            "coordinator", "worker",
+            "coordinator", "worker", "report",
         ],
         help=(
             "which paper artifact to regenerate — or 'coordinator' / "
-            "'worker', the two halves of a distributed run"
+            "'worker', the two halves of a distributed run, or "
+            "'report', the post-hoc telemetry summary of a run "
+            "directory"
+        ),
+    )
+    parser.add_argument(
+        "target", nargs="?", default=None, metavar="RUNDIR",
+        help=(
+            "(report) the telemetry run directory (a --telemetry-dir "
+            "from an earlier run) to summarise"
         ),
     )
     parser.add_argument(
@@ -273,6 +287,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--telemetry-dir", default=None,
+        help=(
+            "record the run's telemetry there: an append-only CRC'd "
+            "events.jsonl, a Prometheus textfile (metrics.prom), and "
+            "an end-of-run run-manifest.json (table4, ablations, "
+            "coordinator, worker; 'all' gives each experiment a "
+            "subdirectory); summarise later with 'repro-muse report "
+            "DIR'; never changes tallies"
+        ),
+    )
+    parser.add_argument(
         "--connect", default=None, metavar="HOST:PORT",
         help="(worker) coordinator address to pull chunk tasks from",
     )
@@ -331,6 +356,15 @@ def experiment_kwargs(args: argparse.Namespace) -> dict[str, dict]:
                 kw["progress"] = True
         if args.scenario is not None and name in SCENARIO_EXPERIMENTS:
             kw["scenario"] = args.scenario
+        if args.telemetry_dir is not None and name in TELEMETRY_EXPERIMENTS:
+            # Like --checkpoint-dir: an 'all' sweep gives each
+            # experiment its own run directory so two event logs can
+            # never interleave.
+            kw["telemetry_dir"] = (
+                os.path.join(args.telemetry_dir, name)
+                if args.experiment == "all"
+                else args.telemetry_dir
+            )
         if args.adaptive and name in ADAPTIVE_EXPERIMENTS:
             kw["adaptive"] = True
             if args.ci_target is not None:
@@ -378,6 +412,25 @@ def experiment_kwargs(args: argparse.Namespace) -> dict[str, dict]:
 
 
 def run(args: argparse.Namespace) -> int:
+    if args.experiment == "report":
+        if args.target is None:
+            print(
+                "error: report mode needs a RUNDIR (a --telemetry-dir "
+                "from an earlier run)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.telemetry import render_report
+
+        print(render_report(args.target))
+        return 0
+    if args.target is not None:
+        print(
+            "error: the RUNDIR positional only applies to "
+            "'repro-muse report'",
+            file=sys.stderr,
+        )
+        return 2
     if args.chaos is not None:
         from repro.distribute import parse_chaos
 
@@ -546,6 +599,18 @@ def run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.telemetry_dir is not None and args.experiment not in (
+        TELEMETRY_EXPERIMENTS + ("all",)
+    ):
+        # Same flag-dropping class as --progress: a telemetry dir on
+        # an uninstrumented experiment would silently record nothing.
+        print(
+            f"error: --telemetry-dir applies to "
+            f"{', '.join(TELEMETRY_EXPERIMENTS)} (or 'all', or the "
+            f"worker/coordinator subcommands), not {args.experiment}",
+            file=sys.stderr,
+        )
+        return 2
     kwargs = experiment_kwargs(args)
 
     if args.experiment == "all":
@@ -650,10 +715,20 @@ def _run_worker(args: argparse.Namespace) -> int:
         )
         return 2
     from repro.distribute import serve_worker
+    from repro.telemetry import telemetry_session
 
-    executed = serve_worker(
-        host, int(port), backend=args.backend, chaos=args.chaos
-    )
+    # An external worker gets its own (operator-chosen, per-worker)
+    # run directory: its decode spans and engine builds land there,
+    # while its counters still flow to the coordinator over the wire.
+    with telemetry_session(
+        args.telemetry_dir,
+        experiment="worker",
+        backend=args.backend,
+        connect=args.connect,
+    ):
+        executed = serve_worker(
+            host, int(port), backend=args.backend, chaos=args.chaos
+        )
     print(f"worker done: {executed} chunks executed", file=sys.stderr)
     return 0
 

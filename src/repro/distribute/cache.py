@@ -30,6 +30,7 @@ import json
 from pathlib import Path
 from typing import Any
 
+from repro import telemetry
 from repro.distribute.checkpoint import (
     _TALLY_FIELDS,
     _decode_line,
@@ -127,9 +128,14 @@ class ResultCache:
         held = cell.get((chunk.start, chunk.size))
         if held is None:
             self.misses += 1
+            telemetry.counter("cache.misses")
+            telemetry.event("cache.lookup", hit=False)
             return None
         self.hits += 1
         self.trials_served += held.trials
+        telemetry.counter("cache.hits")
+        telemetry.counter("cache.trials_served", held.trials)
+        telemetry.event("cache.lookup", hit=True, trials=held.trials)
         copy = MsedTally()
         copy.merge(held)
         return copy

@@ -185,8 +185,24 @@ class FaultPlan:
         count = self._counts.get(kind, 0) + 1
         self._counts[kind] = count
         if rule.at is not None:
-            return count == rule.at
-        return trial_seed(self._keys[kind], count) / _TWO_64 < rule.probability
+            fired = count == rule.at
+        else:
+            fired = (
+                trial_seed(self._keys[kind], count) / _TWO_64
+                < rule.probability
+            )
+        if fired:
+            # In-process scopes (coordinator journal faults, loopback
+            # tests) land in the active telemetry session; worker
+            # subprocesses have none, and count firings themselves
+            # (see :mod:`repro.distribute.worker`).
+            from repro import telemetry
+
+            telemetry.counter("chaos.fired", kind=kind, scope=self.scope)
+            telemetry.event(
+                "chaos.fault", kind=kind, scope=self.scope, event=count
+            )
+        return fired
 
     def events(self, kind: str) -> int:
         """How many times ``kind`` has been evaluated in this scope."""

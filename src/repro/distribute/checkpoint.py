@@ -34,12 +34,16 @@ import dataclasses
 import json
 import os
 import time
-import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-from repro.orchestrate.persist import atomic_write_text, durable_append
+from repro.orchestrate.persist import (
+    atomic_write_text,
+    decode_crc_line,
+    durable_append,
+    encode_crc_line,
+)
 from repro.orchestrate.plan import Chunk
 from repro.reliability.metrics import MsedTally
 
@@ -78,31 +82,11 @@ def spec_fingerprint(spec: Any) -> str:
     return repr(spec)
 
 
-def _encode_line(record: dict) -> bytes:
-    """One journal line: the record plus a CRC32 of its canonical form."""
-    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
-    crc = zlib.crc32(body.encode())
-    return (
-        json.dumps(
-            {**record, "crc": crc}, sort_keys=True, separators=(",", ":")
-        ).encode()
-        + b"\n"
-    )
-
-
-def _decode_line(line: bytes) -> dict | None:
-    """Parse + CRC-verify one line; ``None`` if torn or corrupt."""
-    try:
-        record = json.loads(line)
-    except (ValueError, UnicodeDecodeError):
-        return None
-    if not isinstance(record, dict) or "crc" not in record:
-        return None
-    crc = record.pop("crc")
-    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
-    if zlib.crc32(body.encode()) != crc:
-        return None
-    return record
+# The CRC'd-line codec now lives in :mod:`repro.orchestrate.persist`
+# (it is shared with the result cache and the telemetry event log);
+# the private aliases keep this module's historical import surface.
+_encode_line = encode_crc_line
+_decode_line = decode_crc_line
 
 
 @dataclass(frozen=True)

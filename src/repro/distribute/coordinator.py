@@ -33,6 +33,7 @@ import time
 from pathlib import Path
 from typing import Any, Iterable
 
+from repro import telemetry
 from repro.distribute.chaos import FaultPlan, resolve_chaos, spec_string
 from repro.distribute.checkpoint import CheckpointJournal, spec_fingerprint
 from repro.distribute.progress import Heartbeat
@@ -47,6 +48,7 @@ from repro.distribute.wire import (
 from repro.orchestrate.persist import atomic_write_json
 from repro.orchestrate.pool import ProgressCallback
 from repro.reliability.metrics import MsedTally
+from repro.telemetry.log import log_line
 
 #: Environment hook for fault-injection smoke tests (CI): interrupt the
 #: session after this many computed folds, as if the coordinator died.
@@ -345,12 +347,14 @@ class DistributedSession:
                         f"distributed run failed: {message}"
                     )
                 stolen = self._queue.reap_expired(time.monotonic())
-                if stolen and self.heartbeat is not None:
-                    print(
-                        f"[progress] re-queued {stolen} expired lease(s)",
-                        file=self.heartbeat.stream,
-                        flush=True,
-                    )
+                if stolen:
+                    telemetry.counter("lease.expired", stolen)
+                    telemetry.event("lease.expired", requeued=stolen)
+                    if self.heartbeat is not None:
+                        log_line(
+                            f"[progress] re-queued {stolen} expired lease(s)",
+                            stream=self.heartbeat.stream,
+                        )
                 if (
                     self.worker_processes
                     and not self._workers
@@ -384,10 +388,30 @@ class DistributedSession:
         if op == "next":
             return self._next_task(worker)
         if op == "result":
-            self._take_result(message["id"], from_wire(message["tally"]))
+            self._take_result(
+                message["id"],
+                from_wire(message["tally"]),
+                worker=worker,
+                seconds=message.get("seconds"),
+            )
             return None  # one-way: the worker never waits on an ack
         if op == "failed":
             self._take_failure(message["id"], message.get("error", "unknown"))
+            return None
+        if op == "telemetry":
+            # One-way counter deltas a worker ships while idle; folded
+            # into the coordinator's registry under its name so fleet
+            # totals survive the worker process.
+            counters = message.get("counters")
+            if isinstance(counters, dict):
+                telemetry.merge_worker_counters(counters, worker=worker)
+                # Mirror the deltas into the event log too: chaos firings
+                # happen inside worker processes (no session there), so
+                # without this the post-hoc report could not reconstruct
+                # fault counts from ``events.jsonl`` alone.
+                telemetry.event(
+                    "telemetry.worker", worker=worker, counters=counters
+                )
             return None
         return {"op": "error", "message": f"unknown op {op!r}"}
 
@@ -396,19 +420,31 @@ class DistributedSession:
             if self._closed:
                 return {"op": "shutdown"}
             now = time.monotonic()
-            self._queue.reap_expired(now)
+            stolen = self._queue.reap_expired(now)
+            if stolen:
+                telemetry.counter("lease.expired", stolen)
+                telemetry.event("lease.expired", requeued=stolen)
             claim = self._queue.claim(worker, now)
             if claim is None:
                 return {"op": "idle", "delay": self.poll_interval}
             task_id, task = claim
             return {"op": "task", "id": task_id, "task": to_wire(task)}
 
-    def _take_result(self, task_id: int, tally: MsedTally) -> None:
+    def _take_result(
+        self,
+        task_id: int,
+        tally: MsedTally,
+        worker: str | None = None,
+        seconds: float | None = None,
+    ) -> None:
         with self._lock:
             if not self._queue.complete(task_id):
+                telemetry.counter("chunks.duplicate")
                 return  # duplicate from a stolen lease: fold exactly once
             task = self._queue.tasks[task_id]
-            self._fold_locked(task, tally, journal=True)
+            self._fold_locked(
+                task, tally, journal=True, worker=worker, seconds=seconds
+            )
 
     def _take_failure(self, task_id: int, error: str) -> None:
         with self._lock:
@@ -417,6 +453,14 @@ class DistributedSession:
             errors = self._attempt_errors.setdefault(task_id, [])
             errors.append(error)
             self._queue.requeue(task_id)
+            telemetry.counter("chunks.failed")
+            telemetry.event(
+                "chunk.failed",
+                task=task_id,
+                attempts=len(errors),
+                error=errors[-1],
+                requeued=1,
+            )
             if len(errors) >= MAX_TASK_ATTEMPTS:
                 # A poison chunk: it failed on MAX_TASK_ATTEMPTS
                 # distinct leases, so retrying elsewhere won't help.
@@ -435,49 +479,62 @@ class DistributedSession:
     def _worker_joined(self, worker: str, rejoin: bool = False) -> None:
         with self._lock:
             self._workers.add(worker)
+            telemetry.counter("worker.rejoins" if rejoin else "worker.joins")
+            telemetry.gauge("workers.connected", len(self._workers))
+            telemetry.event(
+                "worker.rejoin" if rejoin else "worker.join", worker=worker
+            )
             if rejoin:
                 self.rejoins += 1
                 if self.heartbeat is not None:
-                    print(
+                    log_line(
                         f"[progress] worker {worker} rejoined "
                         f"(rejoin #{self.rejoins})",
-                        file=self.heartbeat.stream,
-                        flush=True,
+                        stream=self.heartbeat.stream,
                     )
 
     def _worker_gone(self, worker: str) -> None:
         with self._lock:
             self._workers.discard(worker)
             stolen = self._queue.release_worker(worker)
-            if stolen and self.heartbeat is not None:
-                print(
-                    f"[progress] worker {worker} left; re-queued {stolen} "
-                    f"lease(s)",
-                    file=self.heartbeat.stream,
-                    flush=True,
-                )
+            telemetry.gauge("workers.connected", len(self._workers))
+            telemetry.event("worker.leave", worker=worker, requeued=stolen)
+            if stolen:
+                telemetry.counter("leases.stolen", stolen)
+                if self.heartbeat is not None:
+                    log_line(
+                        f"[progress] worker {worker} left; re-queued {stolen} "
+                        f"lease(s)",
+                        stream=self.heartbeat.stream,
+                    )
 
     def _protocol_error(self, worker: str, exc: Exception) -> None:
         """A torn/garbage frame: count it, log it, and let the caller
         drop only that worker's connection (its leases re-queue)."""
         with self._lock:
             self.protocol_errors += 1
+            telemetry.counter("protocol.errors")
+            telemetry.event("protocol.error", worker=worker, error=repr(exc))
             stream = (
                 self.heartbeat.stream
                 if self.heartbeat is not None
                 else sys.stderr
             )
-            print(
+            log_line(
                 f"[protocol] dropping worker {worker} after unparseable "
                 f"frame: {exc!r}",
-                file=stream,
-                flush=True,
+                stream=stream,
             )
 
     # -- fold (lock held) ------------------------------------------------
 
     def _fold_locked(
-        self, task: Any, tally: MsedTally, journal: bool
+        self,
+        task: Any,
+        tally: MsedTally,
+        journal: bool,
+        worker: str | None = None,
+        seconds: float | None = None,
     ) -> None:
         batch = self._batch
         if batch is None:  # pragma: no cover - late result after barrier
@@ -489,12 +546,36 @@ class DistributedSession:
             held.merge(tally)
         if journal:
             self._folds += 1
+            telemetry.counter("chunks.computed", group=str(task.group))
+            telemetry.record_spec(task.group, spec_fingerprint(task.spec))
+            if seconds is not None:
+                # The worker timed its own decode; surface it as the
+                # same ``decode_chunk`` span the in-process path emits
+                # so the report's slowest-points table covers both.
+                telemetry.histogram(
+                    "span.decode_chunk",
+                    seconds,
+                    point=str(task.group),
+                    worker=worker or "?",
+                )
+                telemetry.event(
+                    "span",
+                    name="decode_chunk",
+                    seconds=round(seconds, 6),
+                    attrs={
+                        "point": str(task.group),
+                        "worker": worker or "?",
+                        "trials": tally.trials,
+                    },
+                )
             if self.checkpoint is not None:
                 self.checkpoint.record(
                     task.group, task.chunk, tally, spec_fingerprint(task.spec)
                 )
             if self.cache is not None:
                 self.cache.record(task.key, task.spec, task.chunk, tally)
+        else:
+            telemetry.counter("chunks.replayed", group=str(task.group))
         batch["done"] += 1
         stats = batch["per_group"][task.group]
         stats[0] += 1
@@ -525,6 +606,13 @@ class DistributedSession:
         journal, write the durable partial-results report, and return
         the exception for the caller to raise.  Everything folded so
         far survives; ``--resume`` finishes the run later."""
+        telemetry.event(
+            "run.degraded",
+            reason=message,
+            requeues=self._queue.requeues,
+            rejoins=self.rejoins,
+            protocol_errors=self.protocol_errors,
+        )
         report_path = None
         if self.checkpoint is not None:
             self.checkpoint.flush()

@@ -15,6 +15,17 @@ on):
 Both throttle to ``min_interval`` seconds between lines (0 in tests for
 determinism) but always emit the final line, so even a sub-second run
 shows exactly one heartbeat.
+
+Lines go through :func:`repro.telemetry.log.log_line`, so the whole
+progress surface obeys the ``REPRO_LOG`` gate (``silent`` mutes it,
+``normal`` — the default — keeps historical behaviour).
+
+Timing here uses ``time.perf_counter()`` exclusively — never
+``time.time()`` — so NTP steps or a suspended laptop can't produce
+negative elapsed values or spurious throttle stalls.  The same
+invariant holds for lease deadlines (``time.monotonic()`` in
+:mod:`repro.distribute.queue`/``coordinator``); it is pinned by a
+source-level test in ``tests/distribute/test_progress.py``.
 """
 
 from __future__ import annotations
@@ -22,6 +33,8 @@ from __future__ import annotations
 import sys
 import time
 from typing import Any, TextIO
+
+from repro.telemetry.log import log_line
 
 
 class ChunkProgress:
@@ -41,10 +54,9 @@ class ChunkProgress:
             return
         self._last = now
         elapsed = now - self._started
-        print(
+        log_line(
             f"[progress] chunks {done}/{total} elapsed {elapsed:.1f}s",
-            file=self.stream,
-            flush=True,
+            stream=self.stream,
         )
 
 
@@ -75,12 +87,11 @@ class Heartbeat:
             return
         self._last = now
         elapsed = now - self._started
-        print(
+        log_line(
             f"[progress] point {group}: chunks {chunks_done}/{chunks_total} "
             f"trials {trials_folded} | batch {batch_done}/{batch_total} "
             f"elapsed {elapsed:.1f}s",
-            file=self.stream,
-            flush=True,
+            stream=self.stream,
         )
 
     def allocation(
@@ -96,16 +107,14 @@ class Heartbeat:
         observable story, so they bypass the throttle.
         """
         elapsed = time.perf_counter() - self._started
-        print(
+        log_line(
             f"[campaign] round {round_no}: {len(entries)} point(s) "
             f"allocated, elapsed {elapsed:.1f}s",
-            file=self.stream,
-            flush=True,
+            stream=self.stream,
         )
         for group, allocated, total, half, priority in entries:
-            print(
+            log_line(
                 f"[campaign]   point {group}: +{allocated} trials "
                 f"(-> {total}) ci-half {half:.3g} priority {priority:.3g}",
-                file=self.stream,
-                flush=True,
+                stream=self.stream,
             )

@@ -31,6 +31,16 @@ inherited ``REPRO_CHAOS``), the loop consults a deterministic
 :class:`~repro.distribute.chaos.FaultPlan` at each step — hang, crash,
 reset, torn frame, duplicated result — so the fleet's failure modes
 are reproducible test subjects instead of production surprises.
+
+Telemetry: a worker process never opens its own telemetry session
+(two processes appending one event log would interleave batches).  It
+keeps plain integer counters — chunks executed/failed, reconnects,
+chaos firings — and ships the *deltas* to the coordinator as one-way
+``{"op": "telemetry", "counters": {...}}`` frames riding the normal
+result/poll flushes, where they fold into the coordinator's registry
+under ``worker=<name>`` labels.  Each result frame also carries the
+chunk's compute ``seconds`` so the coordinator can emit the same
+``decode_chunk`` spans the in-process path records.
 """
 
 from __future__ import annotations
@@ -114,6 +124,23 @@ def _send_torn_frame(wfile, result: dict) -> None:
     wfile.flush()
 
 
+def _bump(counters: dict, name: str, amount: int = 1) -> None:
+    counters[name] = counters.get(name, 0) + amount
+
+
+def _telemetry_frames(counters: dict, shipped: dict) -> list[dict]:
+    """The (0 or 1) wire frames carrying unshipped counter deltas."""
+    deltas = {
+        name: value - shipped.get(name, 0)
+        for name, value in counters.items()
+        if value != shipped.get(name, 0)
+    }
+    if not deltas:
+        return []
+    shipped.update(counters)
+    return [{"op": "telemetry", "counters": deltas}]
+
+
 def _serve_session(
     sock: socket.socket,
     worker_name: str,
@@ -121,14 +148,20 @@ def _serve_session(
     plan: FaultPlan | None,
     rejoin: bool,
     executed: list,
+    counters: dict | None = None,
+    shipped: dict | None = None,
 ) -> bool:
     """One connection's pull loop.
 
     Returns ``True`` on a clean end (shutdown op, or EOF while idle —
     the coordinator finished); raises ``ConnectionError`` on an abrupt
     loss so the caller can rejoin.  ``executed`` is a single-element
-    counter that survives the exception path.
+    counter that survives the exception path; ``counters``/``shipped``
+    hold the telemetry tallies and the high-water mark of what the
+    coordinator has already been told.
     """
+    counters = counters if counters is not None else {}
+    shipped = shipped if shipped is not None else {}
     sock.settimeout(None)
     rfile = sock.makefile("rb")
     wfile = sock.makefile("wb")
@@ -168,43 +201,68 @@ def _serve_session(
             if pending:
                 # Flush without sleeping: the coordinator may be
                 # waiting on exactly this tally to close the barrier.
-                send_messages(wfile, [*pending, {"op": "next"}])
+                send_messages(
+                    wfile,
+                    [
+                        *pending,
+                        *_telemetry_frames(counters, shipped),
+                        {"op": "next"},
+                    ],
+                )
                 pending = []
             else:
+                # An idle beat is the natural moment to fold this
+                # worker's counter deltas back to the coordinator:
+                # it costs one extra frame on a poll that was being
+                # sent anyway, and every batch ends in an idle beat.
                 time.sleep(float(reply.get("delay", 0.05)))
-                send_message(wfile, {"op": "next"})
+                send_messages(
+                    wfile,
+                    [*_telemetry_frames(counters, shipped), {"op": "next"}],
+                )
             continue
         if op != "task":
             raise RuntimeError(f"unexpected coordinator reply: {reply!r}")
-        send_messages(wfile, [*pending, {"op": "next"}])
+        send_messages(
+            wfile,
+            [*pending, *_telemetry_frames(counters, shipped), {"op": "next"}],
+        )
         pending = []
         task = _with_backend(from_wire(reply["task"]), backend)
         if plan is not None:
             if plan.should("hang"):  # straggle past the lease timeout
+                _bump(counters, "worker.chaos.hang")
                 time.sleep(plan.spec.hang_seconds)
             if plan.should("crash"):  # die holding the lease
                 os._exit(CHAOS_CRASH_EXIT)
             if plan.should("reset"):  # blip before reporting
+                _bump(counters, "worker.chaos.reset")
                 raise _ChaosReset("chaos: connection reset before result")
+        started = time.perf_counter()
         try:
             _, tally = run_chunk_task(task)
         except Exception as exc:  # report, don't die: the chunk may
             # succeed on a worker with different capabilities.
+            _bump(counters, "worker.chunks_failed")
             pending = [
                 {"op": "failed", "id": reply["id"], "error": repr(exc)}
             ]
         else:
             executed[0] += 1
+            _bump(counters, "worker.chunks_executed")
             result = {
                 "op": "result",
                 "id": reply["id"],
                 "tally": to_wire(tally),
+                "seconds": round(time.perf_counter() - started, 6),
             }
             if plan is not None and plan.should("torn"):
+                _bump(counters, "worker.chaos.torn")
                 _send_torn_frame(wfile, result)
                 raise _ChaosReset("chaos: torn result frame")
             pending = [result]
             if plan is not None and plan.should("dup"):
+                _bump(counters, "worker.chaos.dup")
                 pending = [result, result]  # exactly-once fold drops it
 
 
@@ -226,6 +284,8 @@ def serve_worker(
     worker_name = name or f"pid-{os.getpid()}"
     plan = plan_for(chaos, worker_name)
     executed = [0]
+    counters: dict = {}
+    shipped: dict = {}
     rejoin = False
     while True:
         try:
@@ -238,9 +298,12 @@ def serve_worker(
                 # window: the run is over (or moved); stop quietly.
                 return executed[0]
             raise
+        if rejoin:
+            _bump(counters, "worker.reconnects")
         try:
             finished = _serve_session(
-                sock, worker_name, backend, plan, rejoin, executed
+                sock, worker_name, backend, plan, rejoin, executed,
+                counters, shipped,
             )
         except (ConnectionError, BrokenPipeError, OSError):
             finished = False  # abrupt loss: back off and rejoin

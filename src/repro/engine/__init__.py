@@ -32,6 +32,7 @@ import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
+from repro import telemetry
 from repro.engine.base import (
     BackendUnavailableError,
     BatchDecodeResult,
@@ -219,11 +220,15 @@ def get_engine(
     compilation once per code, not once per chunk.
     """
     entry = backend_entry(backend)
+    telemetry.counter("engine.resolve", backend=entry.name)
     cache = code.__dict__.setdefault("_engine_cache", {})
     key = (entry.name, ripple_check)
     engine = cache.get(key)
     if engine is None:
-        engine = entry.factory(code, ripple_check)
+        # Table construction + (for JIT backends) kernel compilation:
+        # the classic hidden startup cost, now a visible span.
+        with telemetry.span("engine_build", backend=entry.name):
+            engine = entry.factory(code, ripple_check)
         cache[key] = engine
     return engine
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.distribute import execution_context
+from repro.telemetry import telemetry_session
 from repro.orchestrate.worker import CodeRef
 from repro.reliability.monte_carlo import (
     MuseMsedSimulator,
@@ -244,13 +245,22 @@ def main(
     trial_budget: int | None = None,
     cache_dir: str | None = None,
     scenario: str = "msed",
+    telemetry_dir: str | None = None,
 ) -> str:
     trials = DEFAULT_TRIALS if trials is None else trials
     seed = DEFAULT_SEED if seed is None else seed
     policy = policy_from_cli(ci_target, max_trials) if adaptive else None
     # One session serves both studies (the group namespaces keep their
     # fold groups and checkpoint entries apart).
-    with execution_context(
+    with telemetry_session(
+        telemetry_dir,
+        experiment="ablation-frontier",
+        seed=seed,
+        backend=backend,
+        scenario=scenario,
+        adaptive=policy is not None,
+        distribute=distribute,
+    ), execution_context(
         distribute,
         seed=seed,
         checkpoint_dir=checkpoint_dir,

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.core.error_model import ErrorDirection, SymbolErrorModel
 from repro.distribute import execution_context
+from repro.telemetry import telemetry_session
 from repro.core.search import find_multipliers
 from repro.core.symbols import SymbolLayout
 from repro.orchestrate.worker import CodeRef
@@ -201,9 +202,18 @@ def main(
     trial_budget: int | None = None,
     cache_dir: str | None = None,
     scenario: str = "msed",
+    telemetry_dir: str | None = None,
 ) -> str:
     seed = DEFAULT_SEED if seed is None else seed
-    with execution_context(
+    with telemetry_session(
+        telemetry_dir,
+        experiment="ablation-shuffle",
+        seed=seed,
+        backend=backend,
+        scenario=scenario,
+        adaptive=bool(adaptive),
+        distribute=distribute,
+    ), execution_context(
         distribute,
         seed=seed,
         checkpoint_dir=checkpoint_dir,

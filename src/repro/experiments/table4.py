@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.distribute import execution_context
 from repro.reliability.metrics import TableIV
+from repro.telemetry import telemetry_session
 from repro.reliability.monte_carlo import build_table_iv
 from repro.reliability.sampling.sequential import AdaptivePolicy, policy_from_cli
 
@@ -150,6 +151,7 @@ def build(
     trial_budget: int | None = None,
     cache_dir: str | None = None,
     scenario: str = "msed",
+    telemetry_dir: str | None = None,
 ) -> TableIV:
     """The table behind :func:`main` (callable for tests/benchmarks).
 
@@ -158,10 +160,11 @@ def build(
     ``resume`` journal and replay completed chunks; ``progress`` prints
     heartbeats to stderr.  ``trial_budget`` caps the adaptive
     campaign's total spend; ``cache_dir`` folds already-computed cells
-    straight from the cross-run result cache.  None of them changes
-    the tallies of the trials that do run.  ``scenario`` swaps the
-    injected corruption stream for any registered fault scenario
-    (:mod:`repro.scenarios`).
+    straight from the cross-run result cache.  ``telemetry_dir``
+    records the run's event log, metrics and manifest there.  None of
+    them changes the tallies of the trials that do run.  ``scenario``
+    swaps the injected corruption stream for any registered fault
+    scenario (:mod:`repro.scenarios`).
     """
     policy: AdaptivePolicy | None = None
     if isinstance(adaptive, AdaptivePolicy):
@@ -169,29 +172,45 @@ def build(
     elif adaptive:
         policy = policy_from_cli(ci_target, max_trials)
     seed = DEFAULT_SEED if seed is None else seed
-    with execution_context(
-        distribute,
+    with telemetry_session(
+        telemetry_dir,
+        experiment="table4",
         seed=seed,
-        checkpoint_dir=checkpoint_dir,
-        resume=resume,
         backend=backend,
-        progress=progress,
-        cache_dir=cache_dir,
-    ) as (executor, progress_cb):
-        return build_table_iv(
-            trials=DEFAULT_TRIALS if trials is None else trials,
+        scenario=scenario,
+        adaptive=policy is not None,
+        trials=(
+            None if policy is not None
+            else (DEFAULT_TRIALS if trials is None else trials)
+        ),
+        distribute=distribute,
+    ) as tel:
+        with execution_context(
+            distribute,
             seed=seed,
-            rs_device_policy=rs_device_policy,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
             backend=backend,
-            jobs=jobs,
-            chunk_size=chunk_size,
-            progress=progress_cb,
-            adaptive=policy,
-            executor=executor,
-            trial_budget=trial_budget,
-            cache_dir=cache_dir if executor is None else None,
-            scenario=scenario,
-        )
+            progress=progress,
+            cache_dir=cache_dir,
+        ) as (executor, progress_cb):
+            table = build_table_iv(
+                trials=DEFAULT_TRIALS if trials is None else trials,
+                seed=seed,
+                rs_device_policy=rs_device_policy,
+                backend=backend,
+                jobs=jobs,
+                chunk_size=chunk_size,
+                progress=progress_cb,
+                adaptive=policy,
+                executor=executor,
+                trial_budget=trial_budget,
+                cache_dir=cache_dir if executor is None else None,
+                scenario=scenario,
+            )
+        if tel is not None:
+            tel.attach_summary(details(table))
+        return table
 
 
 def main(
@@ -211,6 +230,7 @@ def main(
     trial_budget: int | None = None,
     cache_dir: str | None = None,
     scenario: str = "msed",
+    telemetry_dir: str | None = None,
 ) -> tuple[str, dict]:
     """Render the table; returns ``(report, details)`` — the sweep puts
     the details dict (per-point ``trials_used`` and intervals) into
@@ -232,6 +252,7 @@ def main(
         trial_budget=trial_budget,
         cache_dir=cache_dir,
         scenario=scenario,
+        telemetry_dir=telemetry_dir,
     )
     report = render(table)
     summary = details(table)

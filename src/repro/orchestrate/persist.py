@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import zlib
 from pathlib import Path
 from typing import Any
 
@@ -51,6 +52,39 @@ def atomic_write_json(path: str | Path, payload: Any, indent: int = 2) -> None:
     """
     text = json.dumps(payload, indent=indent) + "\n"
     atomic_write_text(path, text)
+
+
+def encode_crc_line(record: dict) -> bytes:
+    """One append-only line: ``record`` plus a CRC32 of its canonical form.
+
+    The CRC is computed over the compact, key-sorted JSON encoding of
+    the record *without* the ``crc`` field, then stored alongside it —
+    so :func:`decode_crc_line` can re-canonicalise and verify without
+    caring about field order or whitespace on disk.
+    """
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(body.encode())
+    return (
+        json.dumps(
+            {**record, "crc": crc}, sort_keys=True, separators=(",", ":")
+        ).encode()
+        + b"\n"
+    )
+
+
+def decode_crc_line(line: bytes) -> dict | None:
+    """Parse + CRC-verify one line; ``None`` if torn or corrupt."""
+    try:
+        record = json.loads(line)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(record, dict) or "crc" not in record:
+        return None
+    crc = record.pop("crc")
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    if zlib.crc32(body.encode()) != crc:
+        return None
+    return record
 
 
 def durable_append(path: str | Path, data: bytes) -> None:

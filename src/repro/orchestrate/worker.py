@@ -179,6 +179,15 @@ def runner_for(spec: Any) -> Any:
 
 
 def run_chunk_task(task: ChunkTask) -> tuple[Any, Any]:
-    """Execute one shard; the pool's sole entry point into a worker."""
+    """Execute one shard; the pool's sole entry point into a worker.
+
+    The ``decode_chunk`` span is a no-op in pool children and loopback
+    worker subprocesses (no telemetry session there — the coordinator
+    observes their chunks instead), but an external ``repro-muse
+    worker --telemetry-dir`` run records its own per-chunk trail.
+    """
+    from repro import telemetry
+
     runner = runner_for(task.spec)
-    return task.group, runner.run_chunk(task.chunk, task.key)
+    with telemetry.span("decode_chunk", point=str(task.group)):
+        return task.group, runner.run_chunk(task.chunk, task.key)

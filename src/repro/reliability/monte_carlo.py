@@ -33,6 +33,7 @@ import random
 from dataclasses import dataclass
 from functools import lru_cache
 
+from repro import telemetry
 from repro.core.codec import DecodeStatus, DetectionReason, MuseCode
 from repro.core.error_model import SymbolErrorModel
 from repro.core.search import MultiplierSearch
@@ -640,12 +641,14 @@ def run_design_points(
             folded.get(group, MsedTally()).freeze() for group in groups
         ]
     results = []
+    groups = group_labels(len(simulators), group_ns)
     total = len(simulators) * len(chunks)
     done = 0
-    for simulator in simulators:
+    for index, simulator in enumerate(simulators):
         tally = MsedTally()
         for chunk in chunks:
-            tally.merge(simulator.run_chunk(chunk, key))
+            with telemetry.span("decode_chunk", point=str(groups[index])):
+                tally.merge(simulator.run_chunk(chunk, key))
             done += 1
             if progress is not None:
                 progress(done, total)

@@ -37,6 +37,9 @@ This module deliberately imports nothing from ``repro.distribute``:
 the optional result cache and progress heartbeat are duck-typed
 (``lookup``/``record`` and ``allocation`` respectively) so the
 scheduler stays importable from the bottom of the package graph.
+(:mod:`repro.telemetry` sits below ``repro.distribute`` in that graph
+— it only imports ``repro.orchestrate.persist`` — so the campaign
+events emitted here keep that property.)
 """
 
 from __future__ import annotations
@@ -45,6 +48,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Sequence
 
+from repro import telemetry
 from repro.orchestrate.plan import plan_chunk_range
 from repro.orchestrate.pool import map_unordered, run_sharded
 from repro.orchestrate.rng import derive_key
@@ -378,6 +382,26 @@ class CampaignRunner:
             if not allocations:
                 break
             round_no += 1
+            telemetry.counter("campaign.rounds")
+            telemetry.event(
+                "campaign.round",
+                round=round_no,
+                budget_left=budget_left,
+                allocations=[
+                    {
+                        "point": str(groups[alloc.index]),
+                        "trials": alloc.trials,
+                        "total": trials[alloc.index] + alloc.trials,
+                        "half_width": alloc.half_width,
+                        "priority": (
+                            alloc.priority
+                            if math.isfinite(alloc.priority)
+                            else None
+                        ),
+                    }
+                    for alloc in allocations
+                ],
+            )
             if self.heartbeat is not None:
                 beat = getattr(self.heartbeat, "allocation", None)
                 if beat is not None:
@@ -414,7 +438,12 @@ class CampaignRunner:
                     elif spec is not None:
                         pending.append((i, ChunkTask(groups[i], spec, chunk, key)))
                     else:
-                        tallies[i].merge(simulators[i].run_chunk(chunk, key))
+                        with telemetry.span(
+                            "decode_chunk", point=str(groups[i])
+                        ):
+                            tallies[i].merge(
+                                simulators[i].run_chunk(chunk, key)
+                            )
                         done_chunks += 1
                 trials[i] += alloc.trials
                 rounds[i] += 1
@@ -471,6 +500,13 @@ class CampaignRunner:
                     and frozen.count(base.metric) == 0
                 ):
                     escalated[i] = True
+                    telemetry.counter("campaign.escalations")
+                    telemetry.event(
+                        "campaign.escalated",
+                        point=str(groups[i]),
+                        round=round_no,
+                        trials=trials[i],
+                    )
 
             if self.cache is not None:
                 self.cache.flush()

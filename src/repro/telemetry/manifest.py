@@ -1,0 +1,58 @@
+"""End-of-run manifest: one JSON file answering "what was this run?".
+
+``run-manifest.json`` is the durable, self-contained record a later
+reader (or the ROADMAP's always-on service) needs to trust a result
+directory: which experiment and spec fingerprints produced it, on what
+backend/seed, how many trials, what the tallies were, how the cache
+and the fault machinery behaved, and where the wall-clock went — all
+without replaying the event log.  It is written atomically at session
+close, so a crash mid-run leaves the event log as the (truncated)
+source of truth and no half-written manifest.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+MANIFEST_NAME = "run-manifest.json"
+MANIFEST_FORMAT = "repro-telemetry-manifest/1"
+
+
+def build_manifest(telemetry: Any) -> dict[str, Any]:
+    """Assemble the manifest payload from a live telemetry session."""
+    snapshot = telemetry.registry.snapshot()
+    return {
+        "format": MANIFEST_FORMAT,
+        **telemetry.meta,
+        "started_unix": telemetry.started_unix,
+        "wall_seconds": round(time.perf_counter() - telemetry.epoch, 6),
+        "events_written": telemetry.events_written,
+        "spec_fingerprints": dict(sorted(telemetry.spec_fingerprints.items())),
+        "stages": stage_breakdown(snapshot),
+        "metrics": snapshot,
+        "summary": telemetry.summary,
+    }
+
+
+def stage_breakdown(snapshot: dict[str, Any]) -> dict[str, dict[str, Any]]:
+    """Per-stage wall-clock totals, folded across labels.
+
+    Every ``span.<stage>`` histogram collapses to ``{count, seconds,
+    max_seconds}`` keyed by stage name — the coarse "where did the
+    time go" answer, with the labelled detail still available under
+    ``metrics.histograms`` for anyone who wants it.
+    """
+    stages: dict[str, dict[str, Any]] = {}
+    for hist in snapshot.get("histograms", ()):
+        name = hist["name"]
+        if not name.startswith("span."):
+            continue
+        stage = stages.setdefault(
+            name[len("span.") :],
+            {"count": 0, "seconds": 0.0, "max_seconds": 0.0},
+        )
+        stage["count"] += hist["count"]
+        stage["seconds"] = round(stage["seconds"] + hist["sum"], 6)
+        stage["max_seconds"] = round(max(stage["max_seconds"], hist["max"]), 6)
+    return stages

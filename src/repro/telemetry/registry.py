@@ -1,0 +1,224 @@
+"""Process-wide metrics: counters, gauges, and log-bucketed histograms.
+
+The registry is the in-memory half of the telemetry story: every
+instrumented site increments a named metric, and sinks render the
+whole registry at once — a Prometheus textfile on a timer, a JSON
+snapshot into the run manifest at exit.  Three deliberate constraints
+keep the hot path cheap enough to leave enabled on 10^9-trial runs:
+
+* metrics are keyed by ``(name, sorted label items)`` in one dict —
+  lookup is a tuple hash, no string formatting per observation;
+* histograms use **fixed** log-spaced bucket edges shared by every
+  instance (`~3 per decade over 1 µs .. 10 ks`), so merging two
+  histograms — e.g. worker metrics folded into the coordinator's —
+  is plain element-wise integer addition;
+* a single lock guards mutation.  Observations are rare relative to
+  decode work (per *chunk*, never per trial), so contention is noise.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable
+
+#: Fixed histogram bucket upper bounds (seconds): three per decade
+#: from 1 µs to 10 000 s.  Every histogram shares these edges so
+#: cross-process merges never need bucket realignment.
+BUCKET_EDGES: tuple[float, ...] = tuple(
+    round(mantissa * 10.0**exponent, 10)
+    for exponent in range(-6, 5)
+    for mantissa in (1.0, 2.0, 5.0)
+)
+
+
+def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing integer-or-float metric."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A set-to-latest-value metric (queue depth, workers connected)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Duration distribution over the shared log-spaced buckets.
+
+    ``buckets[i]`` counts observations ``<= BUCKET_EDGES[i]``; the
+    final slot is the overflow (+Inf) bucket.  ``sum``/``count`` give
+    the mean; ``max`` survives because tail latency is usually the
+    interesting number for a straggler hunt.
+    """
+
+    __slots__ = ("buckets", "count", "sum", "max")
+
+    def __init__(self) -> None:
+        self.buckets = [0] * (len(BUCKET_EDGES) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        lo, hi = 0, len(BUCKET_EDGES)
+        while lo < hi:  # first edge >= value (binary search, edges fixed)
+            mid = (lo + hi) // 2
+            if BUCKET_EDGES[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.buckets[lo] += 1
+        self.count += 1
+        self.sum += value
+        if value > self.max:
+            self.max = value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "max": self.max,
+            "buckets": list(self.buckets),
+        }
+
+
+class MetricsRegistry:
+    """All metrics of one run, keyed by name + labels."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+
+    def counter_inc(self, name: str, amount: float = 1, **labels: Any) -> None:
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._counters.get(key)
+            if metric is None:
+                metric = self._counters[key] = Counter()
+            metric.value += amount
+
+    def gauge_set(self, name: str, value: float, **labels: Any) -> None:
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._gauges.get(key)
+            if metric is None:
+                metric = self._gauges[key] = Gauge()
+            metric.value = value
+
+    def histogram_observe(self, name: str, value: float, **labels: Any) -> None:
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._histograms.get(key)
+            if metric is None:
+                metric = self._histograms[key] = Histogram()
+            metric.observe(value)
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """Current value of one counter (0 if never incremented)."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._counters.get(key)
+            return metric.value if metric is not None else 0
+
+    def merge_counters(self, counters: dict[str, float], **labels: Any) -> None:
+        """Fold a remote process's counter deltas into this registry.
+
+        Workers ship plain ``{name: delta}`` dicts over the wire; the
+        coordinator merges them here under identifying labels
+        (``worker=<name>``), so fleet totals are a label-sum away.
+        """
+        for name, amount in counters.items():
+            if amount:
+                self.counter_inc(name, amount, **labels)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-able copy of every metric, for the run manifest."""
+        with self._lock:
+            return {
+                "counters": [
+                    {"name": name, "labels": dict(labels), "value": c.snapshot()}
+                    for (name, labels), c in sorted(self._counters.items())
+                ],
+                "gauges": [
+                    {"name": name, "labels": dict(labels), "value": g.snapshot()}
+                    for (name, labels), g in sorted(self._gauges.items())
+                ],
+                "histograms": [
+                    {"name": name, "labels": dict(labels), **h.snapshot()}
+                    for (name, labels), h in sorted(self._histograms.items())
+                ],
+            }
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format.
+
+        Metric names are sanitised (``.`` and ``-`` become ``_``);
+        histograms expand to the conventional ``_bucket``/``_sum``/
+        ``_count`` series with cumulative ``le`` labels.
+        """
+        with self._lock:
+            lines: list[str] = []
+            for (name, labels), c in sorted(self._counters.items()):
+                metric = _prom_name(name)
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric}{_prom_labels(labels)} {_prom_num(c.value)}")
+            for (name, labels), g in sorted(self._gauges.items()):
+                metric = _prom_name(name)
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric}{_prom_labels(labels)} {_prom_num(g.value)}")
+            for (name, labels), h in sorted(self._histograms.items()):
+                metric = _prom_name(name)
+                lines.append(f"# TYPE {metric} histogram")
+                cumulative = 0
+                for edge, bucket in zip(BUCKET_EDGES, h.buckets):
+                    cumulative += bucket
+                    le = _prom_labels(labels + (("le", _prom_num(edge)),))
+                    lines.append(f"{metric}_bucket{le} {cumulative}")
+                le = _prom_labels(labels + (("le", "+Inf"),))
+                lines.append(f"{metric}_bucket{le} {h.count}")
+                lines.append(f"{metric}_sum{_prom_labels(labels)} {_prom_num(h.sum)}")
+                lines.append(f"{metric}_count{_prom_labels(labels)} {h.count}")
+            return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_name(name: str) -> str:
+    return "".join(c if (c.isalnum() or c == "_") else "_" for c in name)
+
+
+def _prom_num(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _prom_labels(labels: Iterable[tuple[str, str]]) -> str:
+    items = tuple(labels)
+    if not items:
+        return ""
+    body = ",".join(
+        f'{_prom_name(k)}="{_escape(v)}"' for k, v in items
+    )
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")

@@ -1,0 +1,150 @@
+"""Post-hoc run reports, rebuilt from the event log alone.
+
+``repro-muse report RUNDIR`` must work on whatever a run left behind —
+including a crashed run with no manifest — so everything here derives
+from ``events.jsonl``: per-stage time totals from span events, a
+slowest-points table from ``decode_chunk`` spans, and a fleet-health
+section counting joins/rejoins/leaves, lease expiries, requeues,
+protocol errors, chaos firings, and cache traffic.  When
+``run-manifest.json`` exists it contributes the header (experiment,
+backend, seed, trials) but never the numbers — the report is the
+independent witness that the coordinator's totals and the event trail
+agree.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.telemetry.manifest import MANIFEST_NAME
+from repro.telemetry.sinks import EVENT_LOG_NAME, read_events
+
+
+def summarize_events(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Fold an event stream into the report's source numbers."""
+    event_counts: Counter[str] = Counter()
+    stages: dict[str, dict[str, float]] = {}
+    points: dict[str, dict[str, float]] = {}
+    fleet: Counter[str] = Counter()
+    chaos: Counter[str] = Counter()
+    total = 0
+    for event in events:
+        total += 1
+        kind = event.get("type", "?")
+        event_counts[kind] += 1
+        if kind == "span":
+            name = event.get("name", "?")
+            seconds = float(event.get("seconds", 0.0))
+            stage = stages.setdefault(name, {"count": 0, "seconds": 0.0, "max": 0.0})
+            stage["count"] += 1
+            stage["seconds"] += seconds
+            stage["max"] = max(stage["max"], seconds)
+            if name == "decode_chunk":
+                attrs = event.get("attrs", {})
+                label = str(attrs.get("point", attrs.get("group", "?")))
+                point = points.setdefault(
+                    label, {"count": 0, "seconds": 0.0, "max": 0.0}
+                )
+                point["count"] += 1
+                point["seconds"] += seconds
+                point["max"] = max(point["max"], seconds)
+        elif kind.startswith("worker."):
+            fleet[kind] += 1
+            fleet["chunks_requeued"] += int(event.get("requeued", 0))
+        elif kind in ("protocol.error", "lease.expired", "chunk.failed"):
+            fleet[kind] += 1
+            fleet["chunks_requeued"] += int(event.get("requeued", 0))
+        elif kind == "chaos.fault":
+            chaos[str(event.get("kind", "?"))] += 1
+        elif kind == "telemetry.worker":
+            # Counter deltas a worker shipped over the wire, mirrored
+            # into the log by the coordinator.  Chaos fires inside the
+            # worker process, so these are the report's only view of
+            # fault counts on a distributed run.
+            for name, amount in (event.get("counters") or {}).items():
+                if name.startswith("worker.chaos."):
+                    chaos[name[len("worker.chaos.") :]] += int(amount)
+        elif kind == "cache.lookup":
+            if event.get("hit"):
+                fleet["cache_hits"] += 1
+            else:
+                fleet["cache_misses"] += 1
+    return {
+        "total_events": total,
+        "event_counts": dict(sorted(event_counts.items())),
+        "stages": stages,
+        "points": points,
+        "fleet": dict(sorted(fleet.items())),
+        "chaos": dict(sorted(chaos.items())),
+    }
+
+
+def load_manifest(run_dir: str | Path) -> dict[str, Any] | None:
+    path = Path(run_dir) / MANIFEST_NAME
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except ValueError:
+        return None
+
+
+def render_report(run_dir: str | Path, slowest: int = 5) -> str:
+    """The human-readable report for one telemetry run directory."""
+    run_dir = Path(run_dir)
+    summary = summarize_events(read_events(run_dir / EVENT_LOG_NAME))
+    manifest = load_manifest(run_dir)
+    lines: list[str] = [f"telemetry report: {run_dir}"]
+
+    if manifest is not None:
+        head = [
+            f"{key}={manifest[key]}"
+            for key in ("experiment", "backend", "seed", "scenario")
+            if manifest.get(key) is not None
+        ]
+        if head:
+            lines.append("  run: " + "  ".join(head))
+        lines.append(
+            f"  wall: {manifest.get('wall_seconds', 0.0):.2f}s"
+            f"  events: {manifest.get('events_written', 0)}"
+        )
+    lines.append(f"  events parsed: {summary['total_events']}")
+
+    stages = summary["stages"]
+    if stages:
+        lines.append("time in stage:")
+        ordered = sorted(stages.items(), key=lambda kv: -kv[1]["seconds"])
+        for name, stage in ordered:
+            lines.append(
+                f"  {name:<24} {stage['seconds']:>9.3f}s"
+                f"  n={int(stage['count']):<6} max={stage['max']:.3f}s"
+            )
+
+    points = summary["points"]
+    if points:
+        lines.append(f"slowest points (top {slowest}):")
+        ordered = sorted(points.items(), key=lambda kv: -kv[1]["seconds"])
+        for label, point in ordered[:slowest]:
+            lines.append(
+                f"  {label:<24} {point['seconds']:>9.3f}s"
+                f"  chunks={int(point['count']):<6} max={point['max']:.3f}s"
+            )
+
+    fleet = summary["fleet"]
+    if fleet:
+        lines.append("fleet health:")
+        for key, value in fleet.items():
+            lines.append(f"  {key:<24} {int(value)}")
+
+    chaos = summary["chaos"]
+    if chaos:
+        lines.append("chaos faults:")
+        for kind, count in chaos.items():
+            lines.append(f"  {kind:<24} {int(count)}")
+
+    if summary["total_events"] == 0 and manifest is None:
+        lines.append("  (no event log or manifest found)")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Span tracing: named, attributed wall-clock intervals.
+
+A span is the unit the post-hoc report reasons about: *where did the
+wall-clock go?*  ``span("decode_chunk", point="muse+2", backend=...)``
+wraps a stage, records its duration into the shared histogram
+``span.decode_chunk`` (labelled by the attrs), and appends a
+``{"type": "span", ...}`` event carrying start offset + duration — so
+the report can rebuild a per-stage time breakdown and a slowest-points
+table from the event log alone, no live process required.
+
+Durations come from ``time.perf_counter()``; the event's ``start`` is
+an offset from the telemetry session's own epoch, never wall-clock —
+clock steps can't reorder a trace.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+#: Labels worth indexing in the metrics registry.  Everything else
+#: (chunk offsets, free-form notes) still lands in the span event but
+#: would explode histogram cardinality if it became a label.
+METRIC_LABELS = ("point", "backend", "group", "stage", "worker")
+
+
+@contextmanager
+def span_recorder(telemetry: Any, name: str, **attrs: Any) -> Iterator[None]:
+    """Time a block, then record histogram + event into ``telemetry``.
+
+    Exceptions propagate untouched; the span is still recorded (with
+    ``error: true``) so a crashing stage remains visible in the trail.
+    """
+    start = time.perf_counter()
+    error = False
+    try:
+        yield
+    except BaseException:
+        error = True
+        raise
+    finally:
+        duration = time.perf_counter() - start
+        labels = {
+            key: attrs[key] for key in METRIC_LABELS if key in attrs
+        }
+        telemetry.registry.histogram_observe(f"span.{name}", duration, **labels)
+        record: dict[str, Any] = {
+            "type": "span",
+            "name": name,
+            "start": round(start - telemetry.epoch, 6),
+            "seconds": round(duration, 6),
+        }
+        if error:
+            record["error"] = True
+        if attrs:
+            record["attrs"] = {k: _jsonable(v) for k, v in attrs.items()}
+        telemetry.emit(record)
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

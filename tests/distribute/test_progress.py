@@ -1,0 +1,138 @@
+"""Progress heartbeats: formatting, throttling, and the REPRO_LOG gate.
+
+Also pins the clock-source invariant for the whole distributed
+runtime: progress elapsed times and lease deadlines must come from
+monotonic clocks (``time.perf_counter()`` / ``time.monotonic()``),
+never ``time.time()`` — an NTP step or a suspended laptop must not
+produce negative elapsed values or spurious lease expiries.  The pin
+is a source-level scan, so a regression cannot hide behind timing.
+"""
+
+import ast
+import inspect
+import io
+
+import pytest
+
+from repro.distribute.progress import ChunkProgress, Heartbeat
+from repro.telemetry.log import ENV_VAR
+
+
+@pytest.fixture(autouse=True)
+def normal_log_level(monkeypatch):
+    """Heartbeat tests assume the default gate unless they say otherwise."""
+    monkeypatch.delenv(ENV_VAR, raising=False)
+
+
+class TestChunkProgress:
+    def test_emits_formatted_lines(self):
+        stream = io.StringIO()
+        progress = ChunkProgress(stream=stream, min_interval=0)
+        progress(3, 10)
+        progress(10, 10)
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("[progress] chunks 3/10 elapsed ")
+        assert lines[1].startswith("[progress] chunks 10/10 elapsed ")
+
+    def test_throttle_suppresses_intermediate_but_never_final(self):
+        stream = io.StringIO()
+        progress = ChunkProgress(stream=stream, min_interval=3600)
+        progress(1, 10)  # first call is past the -inf sentinel
+        progress(2, 10)  # throttled
+        progress(10, 10)  # final: always emitted
+        lines = stream.getvalue().splitlines()
+        assert [line.split()[2] for line in lines] == ["1/10", "10/10"]
+
+    def test_silent_gate_mutes_everything(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "silent")
+        stream = io.StringIO()
+        progress = ChunkProgress(stream=stream, min_interval=0)
+        progress(5, 10)
+        progress(10, 10)
+        assert stream.getvalue() == ""
+
+
+class TestHeartbeat:
+    def test_tick_formats_point_and_batch_standing(self):
+        stream = io.StringIO()
+        heartbeat = Heartbeat(stream=stream, min_interval=0)
+        heartbeat.tick("muse+2", 3, 8, 1500, 3, 80)
+        line = stream.getvalue().splitlines()[0]
+        assert "point muse+2: chunks 3/8" in line
+        assert "trials 1500" in line
+        assert "batch 3/80" in line
+
+    def test_final_batch_tick_bypasses_throttle(self):
+        stream = io.StringIO()
+        heartbeat = Heartbeat(stream=stream, min_interval=3600)
+        heartbeat.tick("a", 1, 8, 100, 1, 2)
+        heartbeat.tick("a", 2, 8, 200, 1, 2)  # throttled
+        heartbeat.tick("b", 8, 8, 900, 2, 2)  # batch done: always emitted
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert "batch 2/2" in lines[-1]
+
+    def test_allocation_lines_bypass_throttle(self):
+        stream = io.StringIO()
+        heartbeat = Heartbeat(stream=stream, min_interval=3600)
+        heartbeat.tick("a", 1, 8, 100, 1, 16)  # consumes the throttle slot
+        heartbeat.allocation(
+            2, [("muse+2", 500, 1500, 0.12, 3.4), ("rs+4", 250, 750, 0.3, 1.1)]
+        )
+        lines = stream.getvalue().splitlines()
+        assert lines[1] == (
+            f"[campaign] round 2: 2 point(s) allocated, "
+            f"elapsed {lines[1].split()[-1].rstrip('s')}s"
+        )
+        assert "[campaign]   point muse+2: +500 trials (-> 1500)" in lines[2]
+        assert "ci-half 0.12 priority 3.4" in lines[2]
+        assert "[campaign]   point rs+4: +250 trials (-> 750)" in lines[3]
+
+    def test_silent_gate_mutes_heartbeats(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "silent")
+        stream = io.StringIO()
+        heartbeat = Heartbeat(stream=stream, min_interval=0)
+        heartbeat.tick("a", 8, 8, 900, 2, 2)
+        heartbeat.allocation(1, [("a", 10, 10, 0.5, 1.0)])
+        assert stream.getvalue() == ""
+
+
+class TestMonotonicClockPin:
+    def test_no_wall_clock_timing_in_the_distributed_runtime(self):
+        """``time.time()`` must not appear anywhere in the runtime's
+        timing paths (progress, leases, straggler timeouts, wire)."""
+        import repro.distribute.cache
+        import repro.distribute.chaos
+        import repro.distribute.checkpoint
+        import repro.distribute.coordinator
+        import repro.distribute.local
+        import repro.distribute.progress
+        import repro.distribute.queue
+        import repro.distribute.wire
+        import repro.distribute.worker
+
+        modules = [
+            repro.distribute.cache,
+            repro.distribute.chaos,
+            repro.distribute.checkpoint,
+            repro.distribute.coordinator,
+            repro.distribute.local,
+            repro.distribute.progress,
+            repro.distribute.queue,
+            repro.distribute.wire,
+            repro.distribute.worker,
+        ]
+        offenders = []
+        for module in modules:
+            tree = ast.parse(inspect.getsource(module))
+            for node in ast.walk(tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "time"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "time"
+                ):
+                    offenders.append(f"{module.__name__}:{node.lineno}")
+        assert offenders == []

@@ -23,9 +23,10 @@ class TestExperimentTask:
         from repro.cli import build_parser
 
         # 'all' is the sweep itself; 'coordinator'/'worker' are the two
-        # halves of a distributed run, not experiments.
+        # halves of a distributed run; 'report' reads a telemetry run
+        # directory — none of them are experiments.
         choices = set(build_parser()._actions[1].choices) - {
-            "all", "coordinator", "worker",
+            "all", "coordinator", "worker", "report",
         }
         assert set(EXPERIMENT_TARGETS) == choices
 

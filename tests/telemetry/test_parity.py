@@ -1,0 +1,94 @@
+"""The non-perturbation invariant: telemetry never changes a tally.
+
+Instrumentation reads clocks and counts events — it must never touch
+an RNG stream, a chunk plan, or a fold.  These tests pin the
+acceptance criterion directly: results are **byte-identical** with
+telemetry enabled vs disabled, across every registered backend, across
+chunk splits, through the process pool (whose forked children must
+stay silently inert), and through a 2-worker loopback fleet.
+"""
+
+import json
+
+import pytest
+
+from repro.core.codes import muse_80_69
+from repro.distribute import DistributedSession
+from repro.engine import available_backends
+from repro.experiments import table4
+from repro.orchestrate import CodeRef
+from repro.reliability.monte_carlo import MuseMsedSimulator
+from repro.telemetry import MANIFEST_NAME, telemetry_session
+
+SEED = 5
+
+
+def simulator(backend="auto"):
+    return MuseMsedSimulator(
+        muse_80_69(),
+        backend=backend,
+        code_ref=CodeRef("repro.core.codes:muse_80_69"),
+    )
+
+
+class TestTallyParity:
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_every_backend_unchanged_under_telemetry(self, tmp_path, backend):
+        sim = simulator(backend)
+        baseline = sim.run(300, seed=SEED, chunk_size=64)
+        with telemetry_session(tmp_path / "run", backend=backend):
+            observed = sim.run(300, seed=SEED, chunk_size=64)
+        assert observed == baseline
+
+    @pytest.mark.parametrize("chunk_size", (None, 50, 128))
+    def test_every_chunk_split_unchanged_under_telemetry(
+        self, tmp_path, chunk_size
+    ):
+        sim = simulator()
+        baseline = sim.run(400, seed=SEED, chunk_size=chunk_size)
+        with telemetry_session(tmp_path / "run"):
+            observed = sim.run(400, seed=SEED, chunk_size=chunk_size)
+        assert observed == baseline
+
+    def test_process_pool_children_stay_inert_and_identical(self, tmp_path):
+        """Forked pool workers inherit the session global; the PID
+        guard must keep them from logging — and from diverging."""
+        sim = simulator()
+        baseline = sim.run(400, seed=SEED, jobs=2, chunk_size=100)
+        with telemetry_session(tmp_path / "run") as tel:
+            observed = sim.run(400, seed=SEED, jobs=2, chunk_size=100)
+            events_after_run = tel.events_written
+        assert observed == baseline
+        # only this process's events (run.start) — nothing from children
+        assert events_after_run >= 1
+
+    def test_two_worker_loopback_unchanged_under_telemetry(self, tmp_path):
+        sim = simulator()
+        baseline = sim.run(600, seed=SEED, chunk_size=50)
+        with telemetry_session(tmp_path / "run", distribute="local:2"):
+            with DistributedSession(local_workers=2) as session:
+                observed = sim.run(
+                    600, seed=SEED, chunk_size=50, executor=session
+                )
+        assert observed == baseline
+
+
+class TestTable4Parity:
+    def test_build_with_telemetry_dir_matches_without(self, tmp_path):
+        run_dir = tmp_path / "run"
+        plain = table4.build(trials=60, seed=3)
+        observed = table4.build(
+            trials=60, seed=3, telemetry_dir=str(run_dir)
+        )
+        assert table4.details(observed) == table4.details(plain)
+        # ... and the manifest carries exactly those tallies
+        manifest = json.loads((run_dir / MANIFEST_NAME).read_text())
+        assert manifest["summary"] == table4.details(plain)
+        assert manifest["experiment"] == "table4"
+        assert manifest["seed"] == 3
+        assert manifest["trials"] == 60
+        assert "decode_chunk" in manifest["stages"]
+        # spec fingerprints are a distributed-path artefact (specs only
+        # exist where work crosses a process boundary) — pinned in
+        # tests/telemetry/test_report.py's loopback run instead.
+        assert manifest["spec_fingerprints"] == {}

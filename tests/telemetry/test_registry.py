@@ -1,0 +1,151 @@
+"""Metrics registry units: counters, gauges, histograms, Prometheus.
+
+The contracts the rest of the telemetry stack leans on:
+
+* metrics are keyed by ``(name, sorted labels)`` — label order never
+  splits a series, distinct label values always do;
+* histogram buckets are the **fixed** shared edges, so merging two
+  histograms (worker → coordinator) is element-wise addition and the
+  exposition format's cumulative ``le`` counts are consistent;
+* ``render_prometheus`` emits the conventional text format with
+  sanitised names, so a node_exporter textfile collector can scrape
+  ``metrics.prom`` unmodified.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry.registry import (
+    BUCKET_EDGES,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestBucketEdges:
+    def test_three_per_decade_sorted_and_fixed(self):
+        assert len(BUCKET_EDGES) == 33  # 11 decades x (1, 2, 5)
+        assert list(BUCKET_EDGES) == sorted(BUCKET_EDGES)
+        assert BUCKET_EDGES[0] == pytest.approx(1e-6)
+        assert BUCKET_EDGES[-1] == pytest.approx(5e4)
+
+
+class TestCounters:
+    def test_increment_and_default_zero(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("chunks.computed") == 0
+        registry.counter_inc("chunks.computed")
+        registry.counter_inc("chunks.computed", 2)
+        assert registry.counter_value("chunks.computed") == 3
+
+    def test_label_order_is_one_series_values_are_distinct(self):
+        registry = MetricsRegistry()
+        registry.counter_inc("c", backend="numpy", point="muse+2")
+        registry.counter_inc("c", point="muse+2", backend="numpy")
+        registry.counter_inc("c", point="muse+4", backend="numpy")
+        assert registry.counter_value("c", backend="numpy", point="muse+2") == 2
+        assert registry.counter_value("c", backend="numpy", point="muse+4") == 1
+
+    def test_merge_worker_counters_lands_under_labels(self):
+        registry = MetricsRegistry()
+        registry.merge_counters(
+            {"worker.chunks_executed": 4, "worker.chaos.reset": 0},
+            worker="local-0",
+        )
+        assert (
+            registry.counter_value("worker.chunks_executed", worker="local-0")
+            == 4
+        )
+        # zero deltas never materialise a series
+        assert not any(
+            entry["name"] == "worker.chaos.reset"
+            for entry in registry.snapshot()["counters"]
+        )
+
+
+class TestGauges:
+    def test_set_to_latest(self):
+        registry = MetricsRegistry()
+        registry.gauge_set("workers.connected", 2)
+        registry.gauge_set("workers.connected", 1)
+        snap = registry.snapshot()["gauges"]
+        assert snap == [
+            {"name": "workers.connected", "labels": {}, "value": 1}
+        ]
+
+
+class TestHistogram:
+    def test_le_bucketing_and_overflow(self):
+        hist = Histogram()
+        hist.observe(1e-6)  # exactly the first edge -> bucket 0 (le)
+        hist.observe(1.5e-6)  # between edges -> bucket 1 (le 2e-6)
+        hist.observe(1e9)  # beyond the last edge -> overflow slot
+        assert hist.buckets[0] == 1
+        assert hist.buckets[1] == 1
+        assert hist.buckets[-1] == 1
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(1e9 + 2.5e-6)
+        assert hist.max == pytest.approx(1e9)
+
+    def test_merge_is_elementwise_addition(self):
+        """The shared-edges property the worker->coordinator fold uses."""
+        a, b = Histogram(), Histogram()
+        for value in (0.001, 0.5, 3.0):
+            a.observe(value)
+        for value in (0.002, 7.0):
+            b.observe(value)
+        merged = [x + y for x, y in zip(a.buckets, b.buckets)]
+        c = Histogram()
+        for value in (0.001, 0.5, 3.0, 0.002, 7.0):
+            c.observe(value)
+        assert merged == c.buckets
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_roundtrippable_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter_inc("b.second")
+        registry.counter_inc("a.first")
+        registry.histogram_observe("span.decode_chunk", 0.01, point="x")
+        snap = registry.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert [c["name"] for c in snap["counters"]] == ["a.first", "b.second"]
+        hist = snap["histograms"][0]
+        assert hist["count"] == 1
+        assert len(hist["buckets"]) == len(BUCKET_EDGES) + 1
+
+
+class TestPrometheusRender:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter_inc("chunks.computed", 3, group="muse+2")
+        registry.gauge_set("workers.connected", 2)
+        text = registry.render_prometheus()
+        assert "# TYPE chunks_computed counter" in text
+        assert 'chunks_computed{group="muse+2"} 3' in text
+        assert "# TYPE workers_connected gauge" in text
+        assert "workers_connected 2" in text
+        assert text.endswith("\n")
+
+    def test_histogram_expansion_is_cumulative(self):
+        registry = MetricsRegistry()
+        registry.histogram_observe("span.decode_chunk", 1.5e-6)
+        registry.histogram_observe("span.decode_chunk", 1e9)
+        text = registry.render_prometheus()
+        assert "# TYPE span_decode_chunk histogram" in text
+        # the 2e-6 bucket holds the small observation; every later
+        # finite bucket repeats the cumulative 1; +Inf holds the count
+        assert 'span_decode_chunk_bucket{le="2e-06"} 1' in text
+        assert 'span_decode_chunk_bucket{le="50000"} 1' in text
+        assert 'span_decode_chunk_bucket{le="+Inf"} 2' in text
+        assert "span_decode_chunk_count 2" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter_inc("c", point='say "hi"\nback\\slash')
+        text = registry.render_prometheus()
+        assert r'point="say \"hi\"\nback\\slash"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""

@@ -1,0 +1,201 @@
+"""Session lifecycle, manifest schema, spans, and the zero-cost gate.
+
+The two properties everything else rides on:
+
+* ``telemetry_session(None)`` and "no session at all" are true no-ops
+  — the module helpers do nothing, allocate nothing, and a forked
+  child (different PID) sees no session even though it inherited the
+  module global;
+* a closed session leaves a self-consistent run directory: the event
+  log's parsed count equals the manifest's ``events_written``, and the
+  manifest's stage breakdown matches the spans that were recorded.
+"""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    EVENT_LOG_NAME,
+    MANIFEST_NAME,
+    PROM_NAME,
+    Telemetry,
+    read_events,
+    set_current,
+    telemetry_session,
+)
+from repro.telemetry.log import ENV_VAR, log_enabled, log_level, log_line
+from repro.telemetry.manifest import MANIFEST_FORMAT, stage_breakdown
+
+
+class TestDisabledGate:
+    def test_none_run_dir_yields_none_and_installs_nothing(self):
+        with telemetry_session(None, experiment="x") as tel:
+            assert tel is None
+            assert telemetry.current() is None
+
+    def test_helpers_are_noops_without_a_session(self):
+        assert telemetry.current() is None
+        telemetry.counter("c")
+        telemetry.gauge("g", 1)
+        telemetry.histogram("h", 0.5)
+        telemetry.event("e", field=1)
+        telemetry.record_spec("g", "fp")
+        telemetry.attach_summary({"x": 1})
+        telemetry.merge_worker_counters({"c": 1}, worker="w")
+        with telemetry.span("decode_chunk", point="x"):
+            pass  # nullcontext
+
+    def test_forked_child_sees_no_session(self, tmp_path):
+        """A pool child inherits ``_CURRENT`` on fork; the owner-PID
+        guard must make it inert there (simulated by faking the pid)."""
+        tel = Telemetry(tmp_path / "run")
+        previous = set_current(tel)
+        try:
+            assert telemetry.current() is tel
+            tel._pid += 1  # pretend we are the forked child
+            assert telemetry.current() is None
+            telemetry.counter("c")  # must not touch the parent registry
+            assert tel.registry.counter_value("c") == 0
+        finally:
+            set_current(previous)
+
+
+class TestSessionLifecycle:
+    def test_run_dir_contents_and_event_bracketing(self, tmp_path):
+        run_dir = tmp_path / "run"
+        with telemetry_session(
+            run_dir, experiment="table4", seed=7, backend="numpy",
+            distribute=None,
+        ) as tel:
+            tel.counter("chunks.computed", group="muse+2")
+            with tel.span("decode_chunk", point="muse+2", trials=100):
+                pass
+        events = list(read_events(run_dir / EVENT_LOG_NAME))
+        assert events[0]["type"] == "run.start"
+        assert events[0]["experiment"] == "table4"
+        assert "distribute" not in events[0]  # None meta keys dropped
+        assert events[-1]["type"] == "run.close"
+        assert (run_dir / PROM_NAME).exists()
+        assert (run_dir / MANIFEST_NAME).exists()
+
+    def test_manifest_is_consistent_with_the_event_log(self, tmp_path):
+        run_dir = tmp_path / "run"
+        with telemetry_session(run_dir, experiment="t", seed=1) as tel:
+            with tel.span("decode_chunk", point="a"):
+                pass
+            with tel.span("engine_build", backend="scalar"):
+                pass
+            tel.record_spec("a", "fp-a")
+            tel.attach_summary({"total_trials": 100})
+        manifest = json.loads((run_dir / MANIFEST_NAME).read_text())
+        events = list(read_events(run_dir / EVENT_LOG_NAME))
+        assert manifest["format"] == MANIFEST_FORMAT
+        assert manifest["experiment"] == "t"
+        assert manifest["seed"] == 1
+        assert manifest["events_written"] == len(events)
+        assert manifest["spec_fingerprints"] == {"a": "fp-a"}
+        assert manifest["summary"] == {"total_trials": 100}
+        assert set(manifest["stages"]) == {"decode_chunk", "engine_build"}
+        assert manifest["stages"]["decode_chunk"]["count"] == 1
+        assert manifest["wall_seconds"] >= 0
+
+    def test_session_restores_previous_on_exit(self, tmp_path):
+        with telemetry_session(tmp_path / "outer") as outer:
+            with telemetry_session(tmp_path / "inner") as inner:
+                assert telemetry.current() is inner
+            assert telemetry.current() is outer
+        assert telemetry.current() is None
+
+    def test_manifest_written_even_when_the_body_raises(self, tmp_path):
+        run_dir = tmp_path / "run"
+        with pytest.raises(RuntimeError, match="boom"):
+            with telemetry_session(run_dir, experiment="t"):
+                raise RuntimeError("boom")
+        assert (run_dir / MANIFEST_NAME).exists()
+        assert telemetry.current() is None
+
+    def test_close_is_idempotent(self, tmp_path):
+        tel = Telemetry(tmp_path / "run")
+        tel.close()
+        written = tel.events_written
+        tel.close()
+        assert tel.events_written == written
+
+
+class TestSpans:
+    def test_metric_labels_are_a_subset_attrs_are_not(self, tmp_path):
+        tel = Telemetry(tmp_path / "run")
+        with tel.span("decode_chunk", point="muse+2", trials=512):
+            pass
+        tel.close()
+        hist = [
+            h for h in json.loads(
+                (tel.run_dir / MANIFEST_NAME).read_text()
+            )["metrics"]["histograms"]
+            if h["name"] == "span.decode_chunk"
+        ]
+        assert hist[0]["labels"] == {"point": "muse+2"}  # trials: event only
+        span = [
+            e for e in read_events(tel.run_dir / EVENT_LOG_NAME)
+            if e.get("type") == "span"
+        ][0]
+        assert span["attrs"] == {"point": "muse+2", "trials": 512}
+        assert span["seconds"] >= 0
+        assert span["start"] >= 0
+
+    def test_raising_block_still_records_with_error_flag(self, tmp_path):
+        tel = Telemetry(tmp_path / "run")
+        with pytest.raises(ValueError):
+            with tel.span("decode_chunk", point="x"):
+                raise ValueError("sim failed")
+        tel.close()
+        span = [
+            e for e in read_events(tel.run_dir / EVENT_LOG_NAME)
+            if e.get("type") == "span"
+        ][0]
+        assert span["error"] is True
+
+
+class TestStageBreakdown:
+    def test_folds_span_histograms_across_labels(self):
+        snapshot = {
+            "histograms": [
+                {"name": "span.decode_chunk", "labels": {"point": "a"},
+                 "count": 2, "sum": 1.0, "max": 0.75, "buckets": []},
+                {"name": "span.decode_chunk", "labels": {"point": "b"},
+                 "count": 1, "sum": 0.5, "max": 0.5, "buckets": []},
+                {"name": "other", "labels": {},
+                 "count": 9, "sum": 9.0, "max": 9.0, "buckets": []},
+            ]
+        }
+        stages = stage_breakdown(snapshot)
+        assert stages == {
+            "decode_chunk": {"count": 3, "seconds": 1.5, "max_seconds": 0.75}
+        }
+
+
+class TestLogGate:
+    def test_levels(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert log_level() == 1  # default: normal
+        assert log_enabled("normal") and not log_enabled("debug")
+        monkeypatch.setenv(ENV_VAR, "silent")
+        assert not log_enabled("normal")
+        monkeypatch.setenv(ENV_VAR, "DEBUG")  # case-insensitive
+        assert log_enabled("debug")
+        monkeypatch.setenv(ENV_VAR, "bogus")  # unknown -> normal
+        assert log_level() == 1
+
+    def test_log_line_honours_gate_and_stream(self, monkeypatch):
+        import io
+
+        stream = io.StringIO()
+        monkeypatch.setenv(ENV_VAR, "silent")
+        log_line("muted", stream=stream)
+        assert stream.getvalue() == ""
+        monkeypatch.setenv(ENV_VAR, "normal")
+        log_line("spoken", stream=stream)
+        log_line("debug chatter", level="debug", stream=stream)
+        assert stream.getvalue() == "spoken\n"

@@ -1,0 +1,104 @@
+"""Durable sinks: CRC'd event log and Prometheus textfile.
+
+The event log inherits the checkpoint journal's torn-tail discipline
+(CRC per line, longest-valid-prefix loads) but, being advisory, buffers
+:data:`FLUSH_EVERY` events per fsync'd append — these tests pin both
+halves: nothing is lost silently, nothing is trusted past a bad CRC.
+"""
+
+from repro.orchestrate.persist import decode_crc_line, encode_crc_line
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.sinks import (
+    FLUSH_EVERY,
+    EventLogSink,
+    PrometheusTextfileSink,
+    read_events,
+)
+
+
+class TestCrcLines:
+    def test_round_trip(self):
+        record = {"type": "span", "seconds": 0.25, "attrs": {"point": "x"}}
+        assert decode_crc_line(encode_crc_line(record)) == record
+
+    def test_key_order_does_not_change_the_line(self):
+        a = encode_crc_line({"x": 1, "y": 2})
+        b = encode_crc_line({"y": 2, "x": 1})
+        assert a == b
+
+    def test_tampered_payload_rejected(self):
+        line = encode_crc_line({"type": "run.start", "seed": 7})
+        assert decode_crc_line(line.replace(b"7", b"8")) is None
+
+    def test_torn_line_rejected(self):
+        line = encode_crc_line({"type": "run.start"})
+        assert decode_crc_line(line[: len(line) // 2]) is None
+        assert decode_crc_line(b"not json at all\n") is None
+
+
+class TestEventLogSink:
+    def test_buffers_until_flush(self, tmp_path):
+        sink = EventLogSink(tmp_path / "events.jsonl")
+        sink.emit({"type": "a"})
+        sink.emit({"type": "b"})
+        assert not sink.path.exists()  # advisory: batched, not per-event
+        assert sink.events_written == 2  # buffered events still count
+        sink.flush()
+        assert [e["type"] for e in read_events(sink.path)] == ["a", "b"]
+        assert sink.events_written == 2
+
+    def test_auto_flush_at_batch_size(self, tmp_path):
+        sink = EventLogSink(tmp_path / "events.jsonl")
+        for index in range(FLUSH_EVERY):
+            sink.emit({"type": "tick", "i": index})
+        assert sink.path.exists()
+        assert len(list(read_events(sink.path))) == FLUSH_EVERY
+
+    def test_close_flushes_the_tail(self, tmp_path):
+        sink = EventLogSink(tmp_path / "events.jsonl")
+        sink.emit({"type": "only"})
+        sink.close()
+        assert [e["type"] for e in read_events(sink.path)] == ["only"]
+
+
+class TestReadEvents:
+    def test_missing_file_yields_nothing(self, tmp_path):
+        assert list(read_events(tmp_path / "absent.jsonl")) == []
+
+    def test_torn_tail_keeps_valid_prefix(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = EventLogSink(path)
+        for index in range(3):
+            sink.emit({"type": "tick", "i": index})
+        sink.flush()
+        with open(path, "ab") as handle:
+            handle.write(b'{"type": "torn", "crc"')  # crash mid-append
+        kept = list(read_events(path))
+        assert [e["i"] for e in kept] == [0, 1, 2]
+
+    def test_corruption_stops_the_parse_there(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        good = encode_crc_line({"type": "a"})
+        bad = encode_crc_line({"type": "b"}).replace(b'"b"', b'"c"')
+        path.write_bytes(good + bad + encode_crc_line({"type": "d"}))
+        assert [e["type"] for e in read_events(path)] == ["a"]
+
+
+class TestPrometheusTextfileSink:
+    def test_throttles_then_force_writes(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter_inc("c")
+        sink = PrometheusTextfileSink(tmp_path / "metrics.prom",
+                                      min_interval=3600.0)
+        assert sink.write(registry) is True
+        registry.counter_inc("c")
+        assert sink.write(registry) is False  # inside the interval
+        assert "c 1" in sink.path.read_text()
+        assert sink.write(registry, force=True) is True
+        assert "c 2" in sink.path.read_text()
+
+    def test_zero_interval_always_writes(self, tmp_path):
+        registry = MetricsRegistry()
+        sink = PrometheusTextfileSink(tmp_path / "m.prom", min_interval=0.0)
+        assert sink.write(registry) is True
+        assert sink.write(registry) is True
